@@ -1,0 +1,88 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark file regenerates one experiment from the DESIGN.md index
+(one per paper figure or §5 challenge).  The pattern is always the same:
+build the experiment configs, run them once inside ``benchmark.pedantic``
+(the simulation itself is the thing being timed; statistical repetition is
+pointless because the runs are deterministic), print the table the paper
+would show, and attach the headline numbers to ``benchmark.extra_info`` so
+``--benchmark-json`` captures them machine-readably.
+
+Benchmarks use smaller populations than a paper deployment would (hundreds
+of nodes, not tens of thousands) so the whole suite finishes in minutes;
+the *shape* of the comparisons is what is being reproduced, as explained in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import os
+from typing import Dict, Iterable, List, Sequence
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.analysis.tables import Table  # noqa: E402
+from repro.experiments import ExperimentConfig, ExperimentResult  # noqa: E402
+
+__all__ = ["BASE_CONFIG", "print_results", "attach_extra_info", "Table", "ExperimentConfig"]
+
+#: Baseline scenario shared by most benchmarks: medium-sized system, Zipf
+#: topic popularity, heterogeneous (Zipf) interest, moderate traffic.
+BASE_CONFIG = ExperimentConfig(
+    name="base",
+    nodes=96,
+    topics=16,
+    topic_exponent=1.0,
+    interest_model="zipf",
+    max_topics_per_node=6,
+    publication_rate=4.0,
+    duration=25.0,
+    drain_time=15.0,
+    fanout=4,
+    gossip_size=8,
+    seed=2007,
+)
+
+
+def print_results(title: str, results: Sequence[ExperimentResult], extra_columns: Dict[str, Dict[str, object]] = None) -> None:
+    """Print the standard result table (plus optional per-run extra columns)."""
+    extra_columns = extra_columns or {}
+    extra_names = sorted({key for values in extra_columns.values() for key in values})
+    table = Table(
+        ["name", "delivery_ratio", "mean_rounds", "ratio_jain", "ratio_spread", "wasted_share",
+         "contribution_jain", "total_messages"] + extra_names,
+        title=title,
+    )
+    for result in results:
+        report = result.fairness.report
+        row = {
+            "name": result.config.name,
+            "delivery_ratio": result.reliability.delivery_ratio,
+            "mean_rounds": result.reliability.mean_rounds,
+            "ratio_jain": report.ratio_jain,
+            "ratio_spread": report.ratio_spread,
+            "wasted_share": report.wasted_share,
+            "contribution_jain": report.contribution_jain,
+            "total_messages": result.total_messages,
+        }
+        row.update(extra_columns.get(result.config.name, {}))
+        table.add_row(**row)
+    print()
+    print(table.render())
+
+
+def attach_extra_info(benchmark, results: Sequence[ExperimentResult]) -> None:
+    """Store the headline numbers of every run in the benchmark record."""
+    benchmark.extra_info["rows"] = [
+        {
+            "name": result.config.name,
+            "system": result.config.system,
+            "delivery_ratio": round(result.reliability.delivery_ratio, 4),
+            "ratio_jain": round(result.fairness.report.ratio_jain, 4),
+            "wasted_share": round(result.fairness.report.wasted_share, 4),
+            "contribution_jain": round(result.fairness.report.contribution_jain, 4),
+            "total_messages": result.total_messages,
+        }
+        for result in results
+    ]

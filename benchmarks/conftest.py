@@ -1,0 +1,9 @@
+"""Make the shared benchmark helpers importable when pytest runs from the repo root."""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for path in (_HERE, os.path.join(os.path.dirname(_HERE), "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)

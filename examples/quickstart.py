@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: publish/subscribe over gossip in a few lines.
+
+Builds a 64-node gossip system, subscribes half the nodes to a topic,
+publishes a handful of events, and prints who delivered what plus the
+fairness picture — first with the classic Figure 4 protocol, then with the
+fairness-adaptive protocol, so the difference is visible immediately.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import quick_system
+from repro.analysis import summarise_fairness
+from repro.core import EXPRESSIVE_POLICY
+from repro.pubsub import TopicFilter
+
+
+def run(fair: bool) -> None:
+    label = "fair gossip" if fair else "classic push gossip (Figure 4)"
+    print(f"\n=== {label} ===")
+    system = quick_system(nodes=64, seed=7, fair=fair)
+
+    # Half the nodes are interested in "news"; the rest subscribe to nothing.
+    for index in range(0, 64, 2):
+        system.subscribe(f"node-{index}", TopicFilter("news"))
+
+    # A few publishers inject events over 30 simulated rounds.
+    for round_index in range(30):
+        system.publish(f"node-{round_index % 4}", topic="news", sequence=round_index)
+        system.run(until=system.simulator.now + 1.0)
+    system.run(until=system.simulator.now + 10.0)
+
+    interested = 32
+    published = 30
+    delivered = system.delivery_log.total_deliveries()
+    print(f"delivered {delivered} of {interested * published} interested (node, event) pairs")
+
+    summary = summarise_fairness(system.ledger, EXPRESSIVE_POLICY, system_name=label)
+    report = summary.report
+    print(
+        f"fairness: ratio Jain {report.ratio_jain:.3f}, "
+        f"wasted contribution share {report.wasted_share:.3f}, "
+        f"load-balance (contribution Jain) {report.contribution_jain:.3f}"
+    )
+    print("heaviest contributors:")
+    for row in summary.top_contributors(3):
+        print(
+            f"  {row.node_id}: contribution {row.contribution:.0f}, "
+            f"benefit {row.benefit:.0f} (delivered {row.delivered})"
+        )
+
+
+def main() -> None:
+    run(fair=False)
+    run(fair=True)
+    print(
+        "\nThe classic protocol spreads work evenly regardless of interest, so the"
+        "\nuninterested half of the system does ~half the work for zero benefit."
+        "\nThe fair protocol shifts work onto the nodes that actually benefit while"
+        "\nstill delivering every event."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file only enables
+legacy editable installs (`pip install -e . --no-use-pep517`) on machines
+where PEP 660 editable wheels cannot be built.
+"""
+from setuptools import setup
+
+setup()

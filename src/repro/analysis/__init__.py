@@ -1,0 +1,23 @@
+"""Post-run analysis: fairness summaries, reliability/latency, text tables."""
+
+from .fairness_report import (
+    NodeFairnessRow,
+    SystemFairnessSummary,
+    compare_systems,
+    summarise_fairness,
+)
+from .reliability import EventReliability, ReliabilityReport, measure_reliability
+from .tables import Table, format_mapping, format_table
+
+__all__ = [
+    "NodeFairnessRow",
+    "SystemFairnessSummary",
+    "summarise_fairness",
+    "compare_systems",
+    "EventReliability",
+    "ReliabilityReport",
+    "measure_reliability",
+    "Table",
+    "format_table",
+    "format_mapping",
+]

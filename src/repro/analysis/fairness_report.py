@@ -1,0 +1,141 @@
+"""End-to-end fairness reporting: from a ledger to printable tables.
+
+Combines the accounting ledger, a fairness policy, and (optionally) the
+delivery log into the quantities the paper's figures talk about: per-node
+contribution, benefit, and their ratio (Figure 1), with the topic-based or
+expressive weighting of Figures 2 and 3, plus the aggregate indices and the
+load-balance comparison of §3.1 vs §3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.accounting import WorkLedger
+from ..core.fairness import FairnessReport, evaluate_fairness
+from ..core.policy import EXPRESSIVE_POLICY, FairnessPolicy
+from .tables import Table, format_table
+
+__all__ = ["NodeFairnessRow", "SystemFairnessSummary", "summarise_fairness", "compare_systems"]
+
+
+@dataclass(frozen=True)
+class NodeFairnessRow:
+    """Per-node view: the row behind Figure 1's per-peer ratio."""
+
+    node_id: str
+    contribution: float
+    benefit: float
+    ratio: float
+    filters: int
+    delivered: int
+    forwarded_messages: int
+    crashes: int
+
+
+@dataclass(frozen=True)
+class SystemFairnessSummary:
+    """Everything a benchmark needs to report about one run of one system."""
+
+    system_name: str
+    policy_name: str
+    report: FairnessReport
+    per_node: List[NodeFairnessRow]
+
+    def top_contributors(self, count: int = 5) -> List[NodeFairnessRow]:
+        """Nodes with the highest contribution (the candidates for unfairness)."""
+        return sorted(self.per_node, key=lambda row: -row.contribution)[:count]
+
+    def zero_benefit_contributors(self) -> List[NodeFairnessRow]:
+        """Nodes that contribute without benefiting (Scribe's interior nodes)."""
+        return [row for row in self.per_node if row.benefit <= 0 and row.contribution > 0]
+
+    def render(self, max_rows: int = 10) -> str:
+        """Printable summary: aggregate indices plus the heaviest contributors."""
+        table = Table(
+            ["node", "contribution", "benefit", "ratio", "filters", "delivered"],
+            title=(
+                f"{self.system_name} under {self.policy_name} policy — "
+                f"ratio Jain {self.report.ratio_jain:.3f}, wasted share {self.report.wasted_share:.3f}"
+            ),
+        )
+        for row in self.top_contributors(max_rows):
+            table.add_row(
+                node=row.node_id,
+                contribution=row.contribution,
+                benefit=row.benefit,
+                ratio=row.ratio,
+                filters=row.filters,
+                delivered=row.delivered,
+            )
+        return table.render()
+
+
+def summarise_fairness(
+    ledger: WorkLedger,
+    policy: FairnessPolicy = EXPRESSIVE_POLICY,
+    system_name: str = "system",
+) -> SystemFairnessSummary:
+    """Build the full fairness summary of one run."""
+    contributions = policy.contributions(ledger)
+    benefits = policy.benefits(ledger)
+    report = evaluate_fairness(contributions, benefits)
+    per_node: List[NodeFairnessRow] = []
+    for node_id in ledger.node_ids():
+        account = ledger.account(node_id)
+        contribution = contributions.get(node_id, 0.0)
+        benefit = benefits.get(node_id, 0.0)
+        per_node.append(
+            NodeFairnessRow(
+                node_id=node_id,
+                contribution=contribution,
+                benefit=benefit,
+                ratio=report.ratios.get(node_id, 0.0),
+                filters=account.filters_placed,
+                delivered=account.events_delivered,
+                forwarded_messages=account.gossip_messages_sent,
+                crashes=account.crashes,
+            )
+        )
+    return SystemFairnessSummary(
+        system_name=system_name,
+        policy_name=policy.name,
+        report=report,
+        per_node=per_node,
+    )
+
+
+def compare_systems(
+    summaries: Sequence[SystemFairnessSummary], precision: int = 3
+) -> str:
+    """Side-by-side comparison table across systems (the Figure 1 experiment)."""
+    table = Table(
+        [
+            "system",
+            "ratio_jain",
+            "ratio_gini",
+            "ratio_spread",
+            "wasted_share",
+            "contribution_jain",
+            "mean_contribution",
+            "mean_benefit",
+            "exploited",
+        ],
+        title="Fairness comparison (higher ratio_jain and lower wasted_share is fairer; "
+        "contribution_jain alone only measures load balancing)",
+    )
+    for summary in summaries:
+        report = summary.report
+        table.add_row(
+            system=summary.system_name,
+            ratio_jain=report.ratio_jain,
+            ratio_gini=report.ratio_gini,
+            ratio_spread=report.ratio_spread,
+            wasted_share=report.wasted_share,
+            contribution_jain=report.contribution_jain,
+            mean_contribution=report.mean_contribution,
+            mean_benefit=report.mean_benefit,
+            exploited=report.exploited,
+        )
+    return table.render(precision=precision)

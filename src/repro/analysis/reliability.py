@@ -1,0 +1,125 @@
+"""Reliability and latency analysis.
+
+The fair protocol must not sacrifice the property that makes gossip
+attractive in the first place: "processes reliably receive events which are
+disseminated" (§4.2).  This module measures that property: per-event and
+aggregate delivery ratios against the subscription-table oracle, delivery
+latency, and the rounds-to-delivery distribution used by the Figure 4
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..pubsub.events import Event
+from ..pubsub.interfaces import DeliveryLog
+from ..pubsub.subscriptions import SubscriptionTable
+from ..sim.metrics import percentile
+
+__all__ = ["EventReliability", "ReliabilityReport", "measure_reliability"]
+
+
+@dataclass(frozen=True)
+class EventReliability:
+    """Delivery outcome of a single event."""
+
+    event_id: str
+    interested: int
+    delivered: int
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of interested nodes that delivered the event."""
+        if self.interested == 0:
+            return 1.0
+        return self.delivered / self.interested
+
+    @property
+    def complete(self) -> bool:
+        """Whether every interested node delivered the event."""
+        return self.delivered >= self.interested
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Aggregate reliability and latency of a run."""
+
+    events: List[EventReliability]
+    delivery_ratio: float
+    complete_fraction: float
+    mean_latency: float
+    p95_latency: float
+    max_latency: float
+    mean_rounds: float
+    p95_rounds: float
+
+    def summary_row(self) -> Dict[str, float]:
+        """Compact dictionary used by benchmark tables."""
+        return {
+            "events": float(len(self.events)),
+            "delivery_ratio": self.delivery_ratio,
+            "complete_fraction": self.complete_fraction,
+            "mean_latency": self.mean_latency,
+            "p95_latency": self.p95_latency,
+            "mean_rounds": self.mean_rounds,
+            "p95_rounds": self.p95_rounds,
+        }
+
+
+def measure_reliability(
+    published_events: Sequence[Event],
+    delivery_log: DeliveryLog,
+    subscriptions: SubscriptionTable,
+    round_period: float = 1.0,
+) -> ReliabilityReport:
+    """Compare actual deliveries with the subscription-table oracle.
+
+    ``published_events`` is the ground-truth list produced by the workload
+    (or collected from ``publish`` return values).  An event whose
+    publisher is itself interested counts that self-delivery like any other.
+    """
+    per_event: List[EventReliability] = []
+    latencies: List[float] = []
+    total_interested = 0
+    total_delivered = 0
+    for event in published_events:
+        interested = subscriptions.interested_nodes(event)
+        records = delivery_log.deliveries_of_event(event.event_id)
+        delivered_nodes = {record.node_id for record in records}
+        delivered_interested = len(delivered_nodes & set(interested))
+        per_event.append(
+            EventReliability(
+                event_id=event.event_id,
+                interested=len(interested),
+                delivered=delivered_interested,
+            )
+        )
+        total_interested += len(interested)
+        total_delivered += delivered_interested
+        latencies.extend(record.latency for record in records if record.node_id in interested)
+
+    delivery_ratio = 1.0 if total_interested == 0 else total_delivered / total_interested
+    complete_fraction = (
+        1.0
+        if not per_event
+        else sum(1 for entry in per_event if entry.complete) / len(per_event)
+    )
+    ordered = sorted(latencies)
+    mean_latency = sum(ordered) / len(ordered) if ordered else 0.0
+    p95_latency = percentile(ordered, 0.95)
+    max_latency = ordered[-1] if ordered else 0.0
+    rounds = [latency / round_period for latency in ordered] if round_period > 0 else []
+    mean_rounds = sum(rounds) / len(rounds) if rounds else 0.0
+    p95_rounds = percentile(sorted(rounds), 0.95)
+    return ReliabilityReport(
+        events=per_event,
+        delivery_ratio=delivery_ratio,
+        complete_fraction=complete_fraction,
+        mean_latency=mean_latency,
+        p95_latency=p95_latency,
+        max_latency=max_latency,
+        mean_rounds=mean_rounds,
+        p95_rounds=p95_rounds,
+    )

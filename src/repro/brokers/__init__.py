@@ -1,0 +1,5 @@
+"""Broker-based selective dissemination baseline (§3, references [6, 9])."""
+
+from .broker import BrokerNode, BrokerSystem, ClientNode
+
+__all__ = ["BrokerNode", "ClientNode", "BrokerSystem"]

@@ -1,0 +1,305 @@
+"""Broker-based baseline (Siena/JEDI style, references [6, 9] of §3).
+
+A small, fixed set of broker nodes carries all the matching and forwarding
+work; ordinary participants are pure clients.  Clients send subscriptions
+and publications to their home broker; brokers keep a content-based matching
+index, flood subscription summaries to the other brokers, and forward each
+publication to every broker that hosts a matching subscriber, which then
+delivers to its local clients.
+
+The paper uses brokers as the contrast case: the dissemination rate is
+coupled to broker capacity, brokers are a reliability bottleneck, and — in
+fairness terms — a handful of nodes carries essentially *all* the
+contribution while the clients only benefit.  The ledger records make that
+concentration measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..core.accounting import WorkLedger
+from ..pubsub.events import Event, EventFactory
+from ..pubsub.filters import Filter
+from ..pubsub.interfaces import DeliveryCallback, DeliveryLog, DisseminationSystem
+from ..pubsub.matching import MatchingEngine
+from ..pubsub.subscriptions import SubscriptionTable
+from ..sim.engine import Simulator
+from ..sim.network import Message, Network
+from ..sim.node import Process, ProcessRegistry
+
+__all__ = ["BrokerNode", "ClientNode", "BrokerSystem"]
+
+SUBSCRIBE_KIND = "broker.subscribe"
+UNSUBSCRIBE_KIND = "broker.unsubscribe"
+PUBLISH_KIND = "broker.publish"
+INTERBROKER_KIND = "broker.forward"
+DELIVER_KIND = "broker.deliver"
+SUBSCRIPTION_SYNC_KIND = "broker.sync"
+
+
+@dataclass(frozen=True)
+class _SubscriptionPayload:
+    client_id: str
+    subscription_filter: Filter
+    add: bool
+
+
+@dataclass(frozen=True)
+class _EventPayload:
+    event: Event
+
+
+class BrokerNode(Process):
+    """A broker: matches events against subscriptions and forwards them."""
+
+    def __init__(
+        self,
+        node_id: str,
+        simulator: Simulator,
+        network: Network,
+        ledger: WorkLedger,
+        delivery_log: DeliveryLog,
+    ) -> None:
+        super().__init__(node_id, simulator, network)
+        self.ledger = ledger
+        self.delivery_log = delivery_log
+        self.matching = MatchingEngine()
+        #: Which broker hosts each remotely subscribed client.
+        self.peers: List[str] = []
+        #: Clients attached locally and remotely known (client -> broker).
+        self.client_home: Dict[str, str] = {}
+        self.local_clients: Set[str] = set()
+        self.seen_event_ids: Set[str] = set()
+        self.ledger.ensure_node(node_id)
+
+    def set_peers(self, peers: Sequence[str]) -> None:
+        """Tell this broker about the other brokers."""
+        self.peers = [peer for peer in peers if peer != self.node_id]
+
+    def attach_client(self, client_id: str) -> None:
+        """Register a client whose home broker is this one."""
+        self.local_clients.add(client_id)
+        self.client_home[client_id] = self.node_id
+
+    # ------------------------------------------------------------- messages
+
+    def on_message(self, message: Message) -> None:
+        if message.kind in (SUBSCRIBE_KIND, UNSUBSCRIBE_KIND):
+            self._handle_subscription(message.payload, propagate=True)
+        elif message.kind == SUBSCRIPTION_SYNC_KIND:
+            self._handle_subscription(message.payload, propagate=False)
+        elif message.kind == PUBLISH_KIND:
+            self._handle_publish(message.payload.event, from_broker=False)
+        elif message.kind == INTERBROKER_KIND:
+            self._handle_publish(message.payload.event, from_broker=True)
+
+    def _handle_subscription(self, payload: _SubscriptionPayload, propagate: bool) -> None:
+        if payload.add:
+            self.matching.add(payload.client_id, payload.subscription_filter)
+        else:
+            self.matching.remove(payload.client_id, payload.subscription_filter)
+        if propagate:
+            # Share the subscription with the other brokers so any broker can
+            # route matching publications towards the client's home broker.
+            for peer in self.peers:
+                self.send(peer, SUBSCRIPTION_SYNC_KIND, payload=payload, size=1)
+                self.ledger.record_subscription_forward(self.node_id)
+
+    def _handle_publish(self, event: Event, from_broker: bool) -> None:
+        if event.event_id in self.seen_event_ids:
+            return
+        self.seen_event_ids.add(event.event_id)
+        interested = self.matching.match(event)
+        local_targets = sorted(interested & self.local_clients)
+        for client in local_targets:
+            self.send(client, DELIVER_KIND, payload=_EventPayload(event=event), size=event.size)
+        if local_targets:
+            self.ledger.record_gossip_send(
+                self.node_id,
+                messages=len(local_targets),
+                events=len(local_targets),
+                size=event.size * len(local_targets),
+            )
+        if not from_broker:
+            remote_brokers = sorted(
+                {
+                    self.client_home.get(client, "")
+                    for client in interested
+                    if client not in self.local_clients and self.client_home.get(client)
+                }
+                or set(self.peers)
+            )
+            for peer in remote_brokers:
+                if not peer or peer == self.node_id:
+                    continue
+                self.send(peer, INTERBROKER_KIND, payload=_EventPayload(event=event), size=event.size)
+                self.ledger.record_gossip_send(self.node_id, messages=1, events=1, size=event.size)
+
+    def register_remote_client(self, client_id: str, home_broker: str) -> None:
+        """Record which broker hosts a remote client (filled in by the system)."""
+        self.client_home[client_id] = home_broker
+
+    def on_crash(self) -> None:
+        self.ledger.record_crash(self.node_id)
+
+
+class ClientNode(Process):
+    """A pure client: publishes to and receives deliveries from its broker."""
+
+    def __init__(
+        self,
+        node_id: str,
+        simulator: Simulator,
+        network: Network,
+        home_broker: str,
+        ledger: WorkLedger,
+        delivery_log: DeliveryLog,
+    ) -> None:
+        super().__init__(node_id, simulator, network)
+        self.home_broker = home_broker
+        self.ledger = ledger
+        self.delivery_log = delivery_log
+        self.delivered_event_ids: Set[str] = set()
+        self._callbacks: List[DeliveryCallback] = []
+        self.ledger.ensure_node(node_id)
+
+    def add_delivery_callback(self, callback: DeliveryCallback) -> None:
+        """Register an application callback invoked on every delivery."""
+        self._callbacks.append(callback)
+
+    def subscribe(self, subscription_filter: Filter) -> None:
+        """Send the subscription to the home broker."""
+        self.ledger.record_subscribe(self.node_id)
+        payload = _SubscriptionPayload(
+            client_id=self.node_id, subscription_filter=subscription_filter, add=True
+        )
+        self.send(self.home_broker, SUBSCRIBE_KIND, payload=payload, size=1)
+
+    def unsubscribe(self, subscription_filter: Filter) -> None:
+        """Withdraw the subscription at the home broker."""
+        self.ledger.record_unsubscribe(self.node_id)
+        payload = _SubscriptionPayload(
+            client_id=self.node_id, subscription_filter=subscription_filter, add=False
+        )
+        self.send(self.home_broker, UNSUBSCRIBE_KIND, payload=payload, size=1)
+
+    def publish(self, event: Event) -> None:
+        """Hand the event to the home broker for dissemination."""
+        if not self.alive:
+            return
+        self.ledger.record_publish(self.node_id)
+        self.send(self.home_broker, PUBLISH_KIND, payload=_EventPayload(event=event), size=event.size)
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != DELIVER_KIND:
+            return
+        event: Event = message.payload.event
+        if event.event_id in self.delivered_event_ids:
+            return
+        self.delivered_event_ids.add(event.event_id)
+        self.ledger.record_delivery(self.node_id)
+        self.delivery_log.record(self.node_id, event, delivered_at=self.simulator.now)
+        for callback in self._callbacks:
+            callback(self.node_id, event)
+
+    def on_crash(self) -> None:
+        self.ledger.record_crash(self.node_id)
+
+
+class BrokerSystem(DisseminationSystem):
+    """Client/broker selective dissemination (the centralised contrast case)."""
+
+    name = "brokers"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        client_ids: Sequence[str],
+        broker_count: int = 1,
+        ledger: Optional[WorkLedger] = None,
+        delivery_log: Optional[DeliveryLog] = None,
+    ) -> None:
+        if not client_ids:
+            raise ValueError("a broker system needs at least one client")
+        if broker_count <= 0:
+            raise ValueError("broker_count must be positive")
+        self.simulator = simulator
+        self.network = network
+        self.ledger = ledger if ledger is not None else WorkLedger()
+        self._delivery_log = delivery_log if delivery_log is not None else DeliveryLog()
+        self.subscriptions = SubscriptionTable()
+        self.registry = ProcessRegistry()
+        self.brokers: Dict[str, BrokerNode] = {}
+        self.clients: Dict[str, ClientNode] = {}
+        self._factories: Dict[str, EventFactory] = {}
+
+        broker_ids = [f"broker-{index}" for index in range(broker_count)]
+        for broker_id in broker_ids:
+            broker = BrokerNode(broker_id, simulator, network, self.ledger, self._delivery_log)
+            broker.start()
+            self.brokers[broker_id] = broker
+            self.registry.add(broker)
+        for broker in self.brokers.values():
+            broker.set_peers(broker_ids)
+
+        for index, client_id in enumerate(client_ids):
+            home = broker_ids[index % broker_count]
+            client = ClientNode(
+                client_id, simulator, network, home, self.ledger, self._delivery_log
+            )
+            client.start()
+            self.clients[client_id] = client
+            self.registry.add(client)
+            self._factories[client_id] = EventFactory(client_id)
+            self.brokers[home].attach_client(client_id)
+            for broker in self.brokers.values():
+                broker.register_remote_client(client_id, home)
+
+    # ------------------------------------------------------------- §2 API
+
+    def publish(self, publisher_id: str, event: Optional[Event] = None, **attributes) -> Event:
+        if event is None:
+            factory = self._factories[publisher_id]
+            topic = attributes.pop("topic", None)
+            size = attributes.pop("size", 1)
+            event = factory.create(attributes=attributes, topic=topic, size=size)
+        event = event.with_time(self.simulator.now)
+        self.clients[publisher_id].publish(event)
+        return event
+
+    def subscribe(
+        self,
+        node_id: str,
+        subscription_filter: Filter,
+        callbacks: Sequence[DeliveryCallback] = (),
+    ) -> None:
+        client = self.clients[node_id]
+        client.subscribe(subscription_filter)
+        self.subscriptions.subscribe(node_id, subscription_filter, timestamp=self.simulator.now)
+        for callback in callbacks:
+            client.add_delivery_callback(callback)
+
+    def unsubscribe(self, node_id: str, subscription_filter: Filter) -> None:
+        self.clients[node_id].unsubscribe(subscription_filter)
+        self.subscriptions.unsubscribe(node_id, subscription_filter, timestamp=self.simulator.now)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def delivery_log(self) -> DeliveryLog:
+        return self._delivery_log
+
+    def node_ids(self) -> List[str]:
+        """Client ids (the participants in the paper's sense)."""
+        return sorted(self.clients)
+
+    def broker_ids(self) -> List[str]:
+        """Ids of the broker nodes."""
+        return sorted(self.brokers)
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to time ``until``."""
+        self.simulator.run(until=until)

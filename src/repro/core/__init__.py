@@ -1,0 +1,71 @@
+"""The paper's contribution: fairness model, accounting, and the fair gossip protocol.
+
+* accounting — the work/benefit ledger behind Figures 1–3;
+* fairness — the metrics that quantify "the ratio contribution/benefit of
+  each peer must be equivalent" (Figure 1);
+* policy — topic-based (Figure 2) vs expressive (Figure 3) interpretations;
+* estimators / adaptive_fanout / adaptive_payload — the decentralised
+  mechanisms that let a node choose its contribution level from its benefit;
+* fair_gossip — the adaptive protocol built on the Figure 4 baseline;
+* bias — selfishness models and the receiver-side auditing defence.
+"""
+
+from .accounting import (
+    AccountSnapshot,
+    BenefitWeights,
+    ContributionWeights,
+    NodeAccount,
+    WorkLedger,
+)
+from .adaptive_fanout import AdaptiveFanoutController, FanoutSchedule
+from .adaptive_payload import AdaptivePayloadController, PayloadSchedule
+from .bias import BiasDetector, BiasFinding, BiasReport, ForwardAudit, SelfishGossipNode
+from .estimators import BenefitEstimator, Ewma
+from .fair_gossip import FairGossipNode, FairGossipSystem
+from .fairness import (
+    FairnessReport,
+    contribution_benefit_ratios,
+    coefficient_of_variation,
+    evaluate_fairness,
+    gini_coefficient,
+    jain_index,
+    max_min_spread,
+    normalised_ratio_deviation,
+    smoothed_ratios,
+    wasted_contribution_share,
+)
+from .policy import EXPRESSIVE_POLICY, TOPIC_BASED_POLICY, FairnessPolicy
+
+__all__ = [
+    "WorkLedger",
+    "NodeAccount",
+    "AccountSnapshot",
+    "ContributionWeights",
+    "BenefitWeights",
+    "FairnessReport",
+    "contribution_benefit_ratios",
+    "jain_index",
+    "gini_coefficient",
+    "coefficient_of_variation",
+    "max_min_spread",
+    "normalised_ratio_deviation",
+    "smoothed_ratios",
+    "wasted_contribution_share",
+    "evaluate_fairness",
+    "FairnessPolicy",
+    "TOPIC_BASED_POLICY",
+    "EXPRESSIVE_POLICY",
+    "BenefitEstimator",
+    "Ewma",
+    "AdaptiveFanoutController",
+    "FanoutSchedule",
+    "AdaptivePayloadController",
+    "PayloadSchedule",
+    "FairGossipNode",
+    "FairGossipSystem",
+    "ForwardAudit",
+    "BiasDetector",
+    "BiasReport",
+    "BiasFinding",
+    "SelfishGossipNode",
+]

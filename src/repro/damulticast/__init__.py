@@ -1,0 +1,5 @@
+"""Data-aware multicast baseline (§4.2, reference [3])."""
+
+from .dam import DamNode, DataAwareMulticastSystem
+
+__all__ = ["DamNode", "DataAwareMulticastSystem"]

@@ -1,0 +1,332 @@
+"""Data-aware multicast baseline (reference [3], §4.2).
+
+Data-aware multicast (dam) organises topics into a hierarchy and maintains
+one gossip group per topic containing only that topic's subscribers, so
+dissemination work is only performed by interested processes — the paper
+credits it with "fairness with respect to the dissemination".  The catch the
+paper points out is the *grouping maintenance*: bridging between levels of
+the hierarchy requires some processes to join a **supertopic** group, which
+forces them to handle traffic for all descendant topics "similar to a broker
+in a client/server architecture".
+
+Implementation:
+
+* a :class:`~repro.pubsub.topics.TopicHierarchy` defines the topic tree;
+* each topic has a gossip group of its subscribers;
+* each *root* topic additionally has a small set of **delegates** — members
+  recruited from the subtree's subscribers (or arbitrary nodes if the
+  subtree has none) — that join every group in the subtree so a publisher
+  that is not itself subscribed can hand its event to a delegate;
+* dissemination inside a group is an infect-and-die epidemic: on first
+  receipt of an event, a member forwards it to ``fanout`` random other group
+  members, which keeps per-member work bounded and interest-local.
+
+The fairness experiments then show exactly the paper's observation: ordinary
+members have a clean contribution/benefit ratio, delegates look like small
+brokers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..core.accounting import WorkLedger
+from ..pubsub.events import Event, EventFactory
+from ..pubsub.filters import Filter, TopicFilter
+from ..pubsub.interfaces import DeliveryCallback, DeliveryLog, DisseminationSystem
+from ..pubsub.subscriptions import SubscriptionTable
+from ..pubsub.topics import TopicHierarchy, topic_path
+from ..sim.engine import Simulator
+from ..sim.network import Message, Network
+from ..sim.node import Process, ProcessRegistry
+
+__all__ = ["DamNode", "DataAwareMulticastSystem"]
+
+GROUP_GOSSIP_KIND = "dam.gossip"
+HANDOFF_KIND = "dam.handoff"
+
+
+@dataclass(frozen=True)
+class _GossipPayload:
+    topic: str
+    event: Event
+
+
+class DamNode(Process):
+    """A data-aware multicast participant."""
+
+    def __init__(
+        self,
+        node_id: str,
+        simulator: Simulator,
+        network: Network,
+        system: "DataAwareMulticastSystem",
+        ledger: WorkLedger,
+        delivery_log: DeliveryLog,
+        fanout: int = 3,
+    ) -> None:
+        super().__init__(node_id, simulator, network)
+        self.system = system
+        self.ledger = ledger
+        self.delivery_log = delivery_log
+        self.fanout = fanout
+        self.subscribed_topics: Set[str] = set()
+        #: Topics whose group this node belongs to (subscriptions + delegate duties).
+        self.group_topics: Set[str] = set()
+        self.seen_event_ids: Set[str] = set()
+        self.delivered_event_ids: Set[str] = set()
+        self._callbacks: List[DeliveryCallback] = []
+        self.ledger.ensure_node(node_id)
+
+    # ------------------------------------------------------------ user API
+
+    def add_delivery_callback(self, callback: DeliveryCallback) -> None:
+        """Register an application callback invoked on every delivery."""
+        self._callbacks.append(callback)
+
+    def subscribe_topic(self, topic: str) -> None:
+        """Subscribe to a topic (joins its gossip group)."""
+        if topic not in self.subscribed_topics:
+            self.subscribed_topics.add(topic)
+            self.ledger.record_subscribe(self.node_id)
+        self.group_topics.add(topic)
+
+    def unsubscribe_topic(self, topic: str) -> None:
+        """Drop the subscription (delegate duties, if any, are kept)."""
+        if topic in self.subscribed_topics:
+            self.subscribed_topics.discard(topic)
+            self.ledger.record_unsubscribe(self.node_id)
+        if not self.system.is_delegate(self.node_id, topic):
+            self.group_topics.discard(topic)
+
+    def become_delegate(self, topic: str) -> None:
+        """Join a group as a delegate (bridging duty, not interest)."""
+        self.group_topics.add(topic)
+
+    def publish(self, event: Event) -> None:
+        """Publish an event into its topic group (via a delegate if needed)."""
+        if not self.alive or event.topic is None:
+            return
+        self.ledger.record_publish(self.node_id)
+        topic = event.topic
+        if topic in self.group_topics:
+            self._spread(topic, event, first_touch=True)
+            return
+        # Not a group member: hand the event to a delegate of the topic's root.
+        delegate = self.system.delegate_for(topic, exclude=self.node_id)
+        if delegate is None:
+            return
+        self.send(delegate, HANDOFF_KIND, payload=_GossipPayload(topic=topic, event=event), size=event.size)
+        self.ledger.record_gossip_send(self.node_id, messages=1, events=1, size=event.size)
+
+    # ------------------------------------------------------------- gossip
+
+    def _spread(self, topic: str, event: Event, first_touch: bool) -> None:
+        """Infect-and-die: deliver if interested, forward to random group members."""
+        if event.event_id in self.seen_event_ids and not first_touch:
+            return
+        newly_seen = event.event_id not in self.seen_event_ids
+        self.seen_event_ids.add(event.event_id)
+        if topic in self.subscribed_topics:
+            self._deliver(event)
+        if not newly_seen and not first_touch:
+            return
+        members = self.system.group_members(topic)
+        rng = self.simulator.rng.stream(f"dam:{self.node_id}")
+        candidates = [member for member in members if member != self.node_id]
+        if not candidates:
+            return
+        targets = candidates if self.fanout >= len(candidates) else rng.sample(candidates, self.fanout)
+        payload = _GossipPayload(topic=topic, event=event)
+        for target in targets:
+            self.send(target, GROUP_GOSSIP_KIND, payload=payload, size=event.size)
+        self.ledger.record_gossip_send(
+            self.node_id, messages=len(targets), events=len(targets), size=event.size * len(targets)
+        )
+
+    def on_message(self, message: Message) -> None:
+        if message.kind not in (GROUP_GOSSIP_KIND, HANDOFF_KIND):
+            return
+        payload: _GossipPayload = message.payload
+        if message.kind == HANDOFF_KIND:
+            # A publisher outside the group handed us the event to spread.
+            self._spread(payload.topic, payload.event, first_touch=True)
+        else:
+            if payload.event.event_id in self.seen_event_ids:
+                return
+            self._spread(payload.topic, payload.event, first_touch=False)
+
+    def _deliver(self, event: Event) -> None:
+        if event.event_id in self.delivered_event_ids:
+            return
+        self.delivered_event_ids.add(event.event_id)
+        self.ledger.record_delivery(self.node_id)
+        self.delivery_log.record(self.node_id, event, delivered_at=self.simulator.now)
+        for callback in self._callbacks:
+            callback(self.node_id, event)
+
+    def on_crash(self) -> None:
+        self.ledger.record_crash(self.node_id)
+
+
+class DataAwareMulticastSystem(DisseminationSystem):
+    """Topic-hierarchy gossip groups with supertopic delegates."""
+
+    name = "data-aware-multicast"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        node_ids: Sequence[str],
+        hierarchy: Optional[TopicHierarchy] = None,
+        fanout: int = 3,
+        delegates_per_root: int = 2,
+        ledger: Optional[WorkLedger] = None,
+        delivery_log: Optional[DeliveryLog] = None,
+    ) -> None:
+        if not node_ids:
+            raise ValueError("a dam system needs at least one node")
+        if delegates_per_root <= 0:
+            raise ValueError("delegates_per_root must be positive")
+        self.simulator = simulator
+        self.network = network
+        self.hierarchy = hierarchy if hierarchy is not None else TopicHierarchy()
+        self.fanout = fanout
+        self.delegates_per_root = delegates_per_root
+        self.ledger = ledger if ledger is not None else WorkLedger()
+        self._delivery_log = delivery_log if delivery_log is not None else DeliveryLog()
+        self.subscriptions = SubscriptionTable()
+        self.registry = ProcessRegistry()
+        self.nodes: Dict[str, DamNode] = {}
+        self._factories: Dict[str, EventFactory] = {}
+        self._groups: Dict[str, Set[str]] = {}
+        self._delegates: Dict[str, List[str]] = {}
+        for node_id in node_ids:
+            node = DamNode(
+                node_id, simulator, network, self, self.ledger, self._delivery_log, fanout=fanout
+            )
+            node.start()
+            self.nodes[node_id] = node
+            self.registry.add(node)
+            self._factories[node_id] = EventFactory(node_id)
+
+    # ------------------------------------------------------------ grouping
+
+    def group_members(self, topic: str) -> List[str]:
+        """Current members of a topic's gossip group (subscribers + delegates)."""
+        members = set(self._groups.get(topic, set()))
+        root = topic_path(topic)[0]
+        members.update(self._delegates.get(root, ()))
+        return sorted(members)
+
+    def is_delegate(self, node_id: str, topic: str) -> bool:
+        """Whether ``node_id`` serves as a delegate covering ``topic``."""
+        root = topic_path(topic)[0]
+        return node_id in self._delegates.get(root, ())
+
+    def delegate_for(self, topic: str, exclude: str = "") -> Optional[str]:
+        """A delegate able to inject an event into ``topic``'s group."""
+        root = topic_path(topic)[0]
+        self._ensure_delegates(root)
+        candidates = [node for node in self._delegates.get(root, ()) if node != exclude]
+        if not candidates:
+            return None
+        rng = self.simulator.rng.stream("dam-delegates")
+        return rng.choice(candidates)
+
+    def _ensure_delegates(self, root: str) -> None:
+        """Recruit delegates for a root topic's subtree if missing or dead."""
+        existing = [
+            node_id
+            for node_id in self._delegates.get(root, ())
+            if self.nodes[node_id].alive
+        ]
+        if len(existing) >= self.delegates_per_root:
+            self._delegates[root] = existing
+            return
+        # Prefer subscribers anywhere in the subtree (they at least benefit
+        # from part of the traffic), fall back to arbitrary nodes.
+        subtree_topics = [root] + [topic.name for topic in self.hierarchy.descendants(root)] if root in self.hierarchy else [root]
+        pool: List[str] = []
+        for topic in subtree_topics:
+            pool.extend(self._groups.get(topic, ()))
+        if not pool:
+            pool = sorted(self.nodes)
+        rng = self.simulator.rng.stream("dam-delegates")
+        unique_pool = sorted(set(pool) - set(existing))
+        while len(existing) < self.delegates_per_root and unique_pool:
+            pick = rng.choice(unique_pool)
+            unique_pool.remove(pick)
+            existing.append(pick)
+        self._delegates[root] = existing
+        # A delegate joins every group of the subtree it bridges.
+        for node_id in existing:
+            for topic in subtree_topics:
+                self.nodes[node_id].become_delegate(topic)
+
+    # ------------------------------------------------------------- §2 API
+
+    def publish(self, publisher_id: str, event: Optional[Event] = None, **attributes) -> Event:
+        if event is None:
+            factory = self._factories[publisher_id]
+            topic = attributes.pop("topic", None)
+            size = attributes.pop("size", 1)
+            event = factory.create(attributes=attributes, topic=topic, size=size)
+        if event.topic is None:
+            raise ValueError("data-aware multicast is topic-based: the event needs a topic")
+        if event.topic not in self.hierarchy:
+            self.hierarchy.add(event.topic)
+        event = event.with_time(self.simulator.now)
+        self._ensure_delegates(topic_path(event.topic)[0])
+        self.nodes[publisher_id].publish(event)
+        return event
+
+    def subscribe(
+        self,
+        node_id: str,
+        subscription_filter: Filter,
+        callbacks: Sequence[DeliveryCallback] = (),
+    ) -> None:
+        if not isinstance(subscription_filter, TopicFilter):
+            raise TypeError("data-aware multicast supports topic-based subscriptions only")
+        topic = subscription_filter.topic
+        if topic not in self.hierarchy:
+            self.hierarchy.add(topic)
+        node = self.nodes[node_id]
+        node.subscribe_topic(topic)
+        self._groups.setdefault(topic, set()).add(node_id)
+        self.subscriptions.subscribe(node_id, subscription_filter, timestamp=self.simulator.now)
+        for callback in callbacks:
+            node.add_delivery_callback(callback)
+
+    def unsubscribe(self, node_id: str, subscription_filter: Filter) -> None:
+        if not isinstance(subscription_filter, TopicFilter):
+            raise TypeError("data-aware multicast supports topic-based subscriptions only")
+        topic = subscription_filter.topic
+        self.nodes[node_id].unsubscribe_topic(topic)
+        if not self.is_delegate(node_id, topic):
+            self._groups.get(topic, set()).discard(node_id)
+        self.subscriptions.unsubscribe(node_id, subscription_filter, timestamp=self.simulator.now)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def delivery_log(self) -> DeliveryLog:
+        return self._delivery_log
+
+    def node_ids(self) -> List[str]:
+        return sorted(self.nodes)
+
+    def node(self, node_id: str) -> DamNode:
+        """Return the node object for ``node_id``."""
+        return self.nodes[node_id]
+
+    def delegates(self) -> Dict[str, List[str]]:
+        """Current delegates per root topic."""
+        return {root: list(nodes) for root, nodes in self._delegates.items()}
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to time ``until``."""
+        self.simulator.run(until=until)

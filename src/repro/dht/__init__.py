@@ -1,0 +1,18 @@
+"""Structured (DHT-based) dissemination baselines discussed in §3.1 and §4.1."""
+
+from .dks import DksNode, DksSystem
+from .idspace import IdSpace
+from .pastry import PastryRouter, RouteResult
+from .scribe import ScribeNode, ScribeSystem
+from .splitstream import SplitStreamSystem
+
+__all__ = [
+    "IdSpace",
+    "PastryRouter",
+    "RouteResult",
+    "ScribeNode",
+    "ScribeSystem",
+    "SplitStreamSystem",
+    "DksNode",
+    "DksSystem",
+]

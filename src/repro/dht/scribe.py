@@ -1,0 +1,351 @@
+"""Scribe-style rendezvous multicast trees (reference [8], §4.1).
+
+Scribe builds one application-level multicast tree per topic: the topic is
+hashed to a key, the key's root in the Pastry overlay is the *rendezvous
+node*, and a node joins the tree by routing a JOIN towards the rendezvous —
+every node on the route becomes a forwarder (an interior tree node) whether
+or not it is interested in the topic.  Publishing routes the event to the
+rendezvous and then floods it down the tree.
+
+This is the paper's canonical example of an *unfair* structured system
+(§4.1): interior nodes and rendezvous nodes contribute forwarding work for
+topics they never subscribed to, and a node with many subscriptions works no
+more than one with a single subscription.  The implementation therefore
+charges every forwarded JOIN, publish-route hop, and multicast hop to the
+forwarding node's ledger account so the fairness experiments can measure
+exactly that effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.accounting import WorkLedger
+from ..pubsub.events import Event, EventFactory
+from ..pubsub.filters import Filter, TopicFilter
+from ..pubsub.interfaces import DeliveryCallback, DeliveryLog, DisseminationSystem
+from ..pubsub.subscriptions import SubscriptionTable
+from ..sim.engine import Simulator
+from ..sim.network import Message, Network
+from ..sim.node import Process, ProcessRegistry
+from .pastry import PastryRouter
+
+__all__ = ["ScribeNode", "ScribeSystem"]
+
+JOIN_KIND = "scribe.join"
+LEAVE_KIND = "scribe.leave"
+ROUTE_PUBLISH_KIND = "scribe.route-publish"
+MULTICAST_KIND = "scribe.multicast"
+
+
+@dataclass(frozen=True)
+class _JoinPayload:
+    routing_topic: str
+    child: str
+
+
+@dataclass(frozen=True)
+class _LeavePayload:
+    routing_topic: str
+    child: str
+
+
+@dataclass(frozen=True)
+class _PublishPayload:
+    routing_topic: str
+    event: Event
+
+
+class ScribeNode(Process):
+    """One Pastry/Scribe participant.
+
+    ``routing_topic`` is the name hashed to pick the rendezvous (it differs
+    from the event's real topic only for SplitStream stripes); interest is
+    always evaluated on the event's real topic.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        simulator: Simulator,
+        network: Network,
+        router: PastryRouter,
+        ledger: WorkLedger,
+        delivery_log: DeliveryLog,
+    ) -> None:
+        super().__init__(node_id, simulator, network)
+        self.router = router
+        self.ledger = ledger
+        self.delivery_log = delivery_log
+        self.subscribed_topics: Set[str] = set()
+        self.children: Dict[str, Set[str]] = {}
+        self.parent: Dict[str, Optional[str]] = {}
+        self.forwarder_topics: Set[str] = set()
+        self.delivered_event_ids: Set[str] = set()
+        self._callbacks: List[DeliveryCallback] = []
+        self.ledger.ensure_node(node_id)
+
+    # ------------------------------------------------------------ user API
+
+    def add_delivery_callback(self, callback: DeliveryCallback) -> None:
+        """Register an application callback invoked on every delivery."""
+        self._callbacks.append(callback)
+
+    def subscribe_topic(self, topic: str, routing_topic: Optional[str] = None) -> None:
+        """Subscribe to ``topic`` and join the multicast tree for it."""
+        routing_topic = routing_topic or topic
+        if topic not in self.subscribed_topics:
+            self.subscribed_topics.add(topic)
+            self.ledger.record_subscribe(self.node_id)
+        self._join_tree(routing_topic)
+
+    def unsubscribe_topic(self, topic: str, routing_topic: Optional[str] = None) -> None:
+        """Drop the subscription; leave the tree if no children depend on us."""
+        routing_topic = routing_topic or topic
+        if topic in self.subscribed_topics:
+            self.subscribed_topics.discard(topic)
+            self.ledger.record_unsubscribe(self.node_id)
+        self._maybe_leave(routing_topic)
+
+    def publish(self, event: Event, routing_topic: Optional[str] = None) -> None:
+        """Publish an event: route it to the rendezvous of its topic."""
+        if not self.alive:
+            return
+        topic = routing_topic or (event.topic or "")
+        self.ledger.record_publish(self.node_id)
+        key = self.router.key_for(topic)
+        next_hop = self.router.next_hop(self.node_id, key)
+        payload = _PublishPayload(routing_topic=topic, event=event)
+        if next_hop is None:
+            # This node is the rendezvous: start the downward multicast.
+            self._multicast(payload, received_from=None)
+        else:
+            self.send(next_hop, ROUTE_PUBLISH_KIND, payload=payload, size=event.size)
+            self.ledger.record_gossip_send(self.node_id, messages=1, events=1, size=event.size)
+
+    # ------------------------------------------------------------ tree join
+
+    def _join_tree(self, routing_topic: str) -> None:
+        if routing_topic in self.forwarder_topics:
+            return
+        self.forwarder_topics.add(routing_topic)
+        self.children.setdefault(routing_topic, set())
+        key = self.router.key_for(routing_topic)
+        next_hop = self.router.next_hop(self.node_id, key)
+        self.parent[routing_topic] = next_hop
+        if next_hop is not None:
+            self.send(
+                next_hop,
+                JOIN_KIND,
+                payload=_JoinPayload(routing_topic=routing_topic, child=self.node_id),
+            )
+            self.ledger.record_subscription_forward(self.node_id)
+
+    def _maybe_leave(self, routing_topic: str) -> None:
+        """Leave the tree if this node neither subscribes nor forwards for others."""
+        interested = any(
+            topic == routing_topic or routing_topic.startswith(f"{topic}#")
+            for topic in self.subscribed_topics
+        )
+        if interested or self.children.get(routing_topic):
+            return
+        if routing_topic not in self.forwarder_topics:
+            return
+        self.forwarder_topics.discard(routing_topic)
+        parent = self.parent.pop(routing_topic, None)
+        if parent is not None:
+            self.send(
+                parent,
+                LEAVE_KIND,
+                payload=_LeavePayload(routing_topic=routing_topic, child=self.node_id),
+            )
+            self.ledger.record_subscription_forward(self.node_id)
+
+    # ------------------------------------------------------------- messages
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == JOIN_KIND:
+            self._handle_join(message.payload)
+        elif message.kind == LEAVE_KIND:
+            self._handle_leave(message.payload)
+        elif message.kind == ROUTE_PUBLISH_KIND:
+            self._handle_route_publish(message.payload)
+        elif message.kind == MULTICAST_KIND:
+            self._handle_multicast(message)
+
+    def _handle_join(self, payload: _JoinPayload) -> None:
+        topic = payload.routing_topic
+        self.children.setdefault(topic, set()).add(payload.child)
+        if topic in self.forwarder_topics:
+            return
+        # Become a forwarder (possibly without any interest of our own) and
+        # keep joining towards the rendezvous — this is Scribe's unfairness.
+        self.forwarder_topics.add(topic)
+        key = self.router.key_for(topic)
+        next_hop = self.router.next_hop(self.node_id, key)
+        self.parent[topic] = next_hop
+        if next_hop is not None:
+            self.send(
+                next_hop, JOIN_KIND, payload=_JoinPayload(routing_topic=topic, child=self.node_id)
+            )
+            self.ledger.record_subscription_forward(self.node_id)
+
+    def _handle_leave(self, payload: _LeavePayload) -> None:
+        topic = payload.routing_topic
+        self.children.get(topic, set()).discard(payload.child)
+        self._maybe_leave(topic)
+
+    def _handle_route_publish(self, payload: _PublishPayload) -> None:
+        key = self.router.key_for(payload.routing_topic)
+        next_hop = self.router.next_hop(self.node_id, key)
+        if next_hop is None:
+            self._multicast(payload, received_from=None)
+        else:
+            self.send(next_hop, ROUTE_PUBLISH_KIND, payload=payload, size=payload.event.size)
+            self.ledger.record_gossip_send(
+                self.node_id, messages=1, events=1, size=payload.event.size
+            )
+
+    def _handle_multicast(self, message: Message) -> None:
+        payload: _PublishPayload = message.payload
+        self._multicast(payload, received_from=message.sender)
+
+    def _multicast(self, payload: _PublishPayload, received_from: Optional[str]) -> None:
+        """Deliver locally if interested and forward down the tree."""
+        event = payload.event
+        if event.topic in self.subscribed_topics:
+            self._deliver(event)
+        children = self.children.get(payload.routing_topic, set())
+        targets = [child for child in sorted(children) if child != received_from]
+        for child in targets:
+            self.send(child, MULTICAST_KIND, payload=payload, size=event.size)
+        if targets:
+            self.ledger.record_gossip_send(
+                self.node_id, messages=len(targets), events=len(targets), size=event.size * len(targets)
+            )
+
+    def _deliver(self, event: Event) -> None:
+        if event.event_id in self.delivered_event_ids:
+            return
+        self.delivered_event_ids.add(event.event_id)
+        self.ledger.record_delivery(self.node_id)
+        self.delivery_log.record(self.node_id, event, delivered_at=self.simulator.now)
+        for callback in self._callbacks:
+            callback(self.node_id, event)
+
+    # ----------------------------------------------------------- accounting
+
+    def on_crash(self) -> None:
+        self.ledger.record_crash(self.node_id)
+        self.router.set_alive(self.node_id, False)
+
+    def on_recover(self) -> None:
+        self.router.set_alive(self.node_id, True)
+
+
+class ScribeSystem(DisseminationSystem):
+    """Topic-based dissemination over Scribe-style multicast trees."""
+
+    name = "scribe"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        node_ids: Sequence[str],
+        ledger: Optional[WorkLedger] = None,
+        delivery_log: Optional[DeliveryLog] = None,
+    ) -> None:
+        if not node_ids:
+            raise ValueError("a Scribe system needs at least one node")
+        self.simulator = simulator
+        self.network = network
+        self.ledger = ledger if ledger is not None else WorkLedger()
+        self._delivery_log = delivery_log if delivery_log is not None else DeliveryLog()
+        self.subscriptions = SubscriptionTable()
+        self.router = PastryRouter(list(node_ids))
+        self.registry = ProcessRegistry()
+        self.nodes: Dict[str, ScribeNode] = {}
+        self._factories: Dict[str, EventFactory] = {}
+        for node_id in node_ids:
+            node = ScribeNode(
+                node_id, simulator, network, self.router, self.ledger, self._delivery_log
+            )
+            node.start()
+            self.nodes[node_id] = node
+            self.registry.add(node)
+            self._factories[node_id] = EventFactory(node_id)
+
+    # ------------------------------------------------------------- §2 API
+
+    def publish(self, publisher_id: str, event: Optional[Event] = None, **attributes) -> Event:
+        if event is None:
+            factory = self._factories[publisher_id]
+            topic = attributes.pop("topic", None)
+            size = attributes.pop("size", 1)
+            event = factory.create(attributes=attributes, topic=topic, size=size)
+        if event.topic is None:
+            raise ValueError("Scribe is topic-based: the event needs a topic")
+        event = event.with_time(self.simulator.now)
+        self.nodes[publisher_id].publish(event)
+        return event
+
+    def subscribe(
+        self,
+        node_id: str,
+        subscription_filter: Filter,
+        callbacks: Sequence[DeliveryCallback] = (),
+    ) -> None:
+        topic = self._topic_of(subscription_filter)
+        node = self.nodes[node_id]
+        node.subscribe_topic(topic)
+        self.subscriptions.subscribe(node_id, subscription_filter, timestamp=self.simulator.now)
+        for callback in callbacks:
+            node.add_delivery_callback(callback)
+
+    def unsubscribe(self, node_id: str, subscription_filter: Filter) -> None:
+        topic = self._topic_of(subscription_filter)
+        self.nodes[node_id].unsubscribe_topic(topic)
+        self.subscriptions.unsubscribe(node_id, subscription_filter, timestamp=self.simulator.now)
+
+    @staticmethod
+    def _topic_of(subscription_filter: Filter) -> str:
+        if not isinstance(subscription_filter, TopicFilter):
+            raise TypeError(
+                "Scribe (like the paper's description of it) supports topic-based "
+                "subscriptions only; use a TopicFilter"
+            )
+        return subscription_filter.topic
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def delivery_log(self) -> DeliveryLog:
+        return self._delivery_log
+
+    def node_ids(self) -> List[str]:
+        return sorted(self.nodes)
+
+    def node(self, node_id: str) -> ScribeNode:
+        """Return the node object for ``node_id``."""
+        return self.nodes[node_id]
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to time ``until``."""
+        self.simulator.run(until=until)
+
+    def rendezvous_of(self, topic: str) -> str:
+        """The rendezvous (tree root) node of a topic."""
+        return self.router.root_of(self.router.key_for(topic))
+
+    def pure_forwarders(self, topic: str) -> List[str]:
+        """Nodes that forward for ``topic`` without being subscribed to it.
+
+        These are the paper's exhibit A for structured unfairness.
+        """
+        return sorted(
+            node_id
+            for node_id, node in self.nodes.items()
+            if topic in node.forwarder_topics and topic not in node.subscribed_topics
+        )

@@ -1,0 +1,30 @@
+"""Declarative experiment harness used by benchmarks and examples."""
+
+from .config import ExperimentConfig
+from .runner import ExperimentResult, run_experiment
+from .scenarios import (
+    SYSTEM_NAMES,
+    build_interest,
+    build_membership_provider,
+    build_popularity,
+    build_simulation,
+    build_system,
+    resolve_policy,
+)
+from .sweeps import compare, results_table, sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "sweep",
+    "compare",
+    "results_table",
+    "build_simulation",
+    "build_system",
+    "build_popularity",
+    "build_interest",
+    "build_membership_provider",
+    "resolve_policy",
+    "SYSTEM_NAMES",
+]

@@ -1,0 +1,124 @@
+"""Declarative experiment configuration.
+
+Every benchmark and example describes its scenario with an
+:class:`ExperimentConfig`: how many nodes, which dissemination system, which
+interest and publication workload, how long to run, what to inject.  The
+runner (:mod:`repro.experiments.runner`) turns a config into a finished
+:class:`~repro.experiments.runner.ExperimentResult`, so the per-figure
+benchmark files stay short and the parameters stay visible in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one simulated experiment.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in tables (e.g. ``"fig1/fair-gossip"``).
+    system:
+        Which dissemination system to build; one of the names accepted by
+        :func:`repro.experiments.scenarios.build_system` (``"gossip"``,
+        ``"fair-gossip"``, ``"pushpull-gossip"``, ``"scribe"``,
+        ``"splitstream"``, ``"dks"``, ``"brokers"``, ``"dam"``).
+    nodes:
+        Number of participants.
+    seed:
+        Master seed; two runs with equal configs produce identical results.
+    topics / topic_exponent:
+        Topic count and Zipf popularity exponent (0 = uniform).
+    interest_model:
+        ``"uniform"``, ``"zipf"``, ``"community"``, or ``"content"``.
+    topics_per_node / max_topics_per_node:
+        Interest sizing (meaning depends on the interest model).
+    publication_rate:
+        Events per time unit, published by ``publisher_fraction`` of nodes.
+    duration:
+        Length of the publication phase in time units; the run continues for
+        ``drain_time`` more units so in-flight events settle.
+    fanout / gossip_size / round_period:
+        Gossip parameters (Figure 4's ``F``, ``N``, and the round length).
+    membership:
+        ``"cyclon"``, ``"full"``, or ``"lpbcast"`` (gossip systems only).
+    loss_rate:
+        Bernoulli message loss probability.
+    churn_down_probability / churn_up_probability:
+        Per-round node churn probabilities (0 disables node churn).
+    subscription_churn_rate:
+        Subscribe/unsubscribe operations per time unit (0 disables).
+    broker_count / stripes / delegates_per_root:
+        Baseline-specific knobs.
+    fairness_policy:
+        ``"expressive"`` (Figure 3 weights) or ``"topic"`` (Figure 2 weights).
+    adapt_fanout / adapt_payload:
+        Fair-gossip lever switches (for ablations).
+    selfish_fraction:
+        Fraction of nodes replaced by the selfish attacker model.
+    extra:
+        Free-form additional parameters picked up by specific scenarios.
+    """
+
+    name: str = "experiment"
+    system: str = "gossip"
+    nodes: int = 128
+    seed: int = 1
+    topics: int = 16
+    topic_exponent: float = 1.0
+    interest_model: str = "zipf"
+    topics_per_node: int = 2
+    max_topics_per_node: int = 8
+    publication_rate: float = 4.0
+    publisher_fraction: float = 0.25
+    duration: float = 40.0
+    drain_time: float = 15.0
+    fanout: int = 3
+    gossip_size: int = 8
+    round_period: float = 1.0
+    membership: str = "cyclon"
+    loss_rate: float = 0.0
+    churn_down_probability: float = 0.0
+    churn_up_probability: float = 0.5
+    subscription_churn_rate: float = 0.0
+    broker_count: int = 2
+    stripes: int = 4
+    delegates_per_root: int = 2
+    fairness_policy: str = "expressive"
+    adapt_fanout: bool = True
+    adapt_payload: bool = True
+    min_fanout: int = 1
+    max_fanout: int = 12
+    min_payload: int = 1
+    max_payload: int = 32
+    selfish_fraction: float = 0.0
+    event_size: int = 1
+    extra: Tuple[Tuple[str, object], ...] = ()
+
+    def with_overrides(self, **overrides) -> "ExperimentConfig":
+        """Return a copy with some fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+    def extra_dict(self) -> Dict[str, object]:
+        """The free-form extras as a dictionary."""
+        return dict(self.extra)
+
+    @property
+    def total_time(self) -> float:
+        """Publication phase plus drain time."""
+        return self.duration + self.drain_time
+
+    def node_ids(self) -> Tuple[str, ...]:
+        """The participant names used by every scenario."""
+        return tuple(f"node-{index:03d}" for index in range(self.nodes))
+
+    def publisher_ids(self) -> Tuple[str, ...]:
+        """The subset of nodes allowed to publish."""
+        count = max(1, int(self.nodes * self.publisher_fraction))
+        return self.node_ids()[:count]

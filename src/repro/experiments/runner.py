@@ -1,0 +1,158 @@
+"""Experiment runner: config in, measured result out.
+
+One call to :func:`run_experiment` performs a complete simulated experiment:
+
+1. build the simulator, network, and dissemination system;
+2. assign interests (subscriptions) according to the workload model;
+3. start the publication workload, plus node churn and subscription churn if
+   configured;
+4. run the simulation for the configured duration and drain window;
+5. measure fairness (per the configured policy) and reliability, and return
+   everything in an :class:`ExperimentResult`.
+
+The benchmarks under ``benchmarks/`` are thin loops over configs calling
+this function and tabulating the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis import (
+    ReliabilityReport,
+    SystemFairnessSummary,
+    measure_reliability,
+    summarise_fairness,
+)
+from ..core import FairnessPolicy
+from ..pubsub.events import Event
+from ..sim import ChurnInjector
+from ..workloads import (
+    AttributeInterest,
+    ContentPublicationWorkload,
+    InterestAssignment,
+    SubscriptionChurnWorkload,
+    TopicPublicationWorkload,
+)
+from .config import ExperimentConfig
+from .scenarios import build_interest, build_popularity, build_simulation, build_system, resolve_policy
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one experiment run."""
+
+    config: ExperimentConfig
+    fairness: SystemFairnessSummary
+    reliability: ReliabilityReport
+    published_events: List[Event]
+    interest: InterestAssignment
+    total_messages: float
+    total_deliveries: int
+    system: object = field(repr=False, default=None)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of oracle-interested (node, event) pairs actually delivered."""
+        return self.reliability.delivery_ratio
+
+    def summary_row(self) -> Dict[str, float]:
+        """One flat dictionary combining fairness and reliability headline numbers."""
+        row = {"name": self.config.name, "system": self.config.system, "nodes": self.config.nodes}
+        row.update(self.fairness.report.summary_row())
+        row.update(self.reliability.summary_row())
+        row["total_messages"] = self.total_messages
+        return row
+
+
+def run_experiment(config: ExperimentConfig, keep_system: bool = False) -> ExperimentResult:
+    """Run one experiment described by ``config`` and return its measurements.
+
+    ``keep_system`` attaches the live system object to the result, which the
+    adaptive-controller benchmarks use to inspect per-node controller
+    histories after the run; it is off by default to keep results small.
+    """
+    simulator, network = build_simulation(config)
+    popularity = build_popularity(config)
+    system = build_system(config, simulator, network, popularity=popularity)
+    interest_model = build_interest(config, popularity)
+    rng = simulator.rng.stream("experiment-interest")
+    interest = interest_model.assign(list(config.node_ids()), rng)
+    interest.apply(system)
+
+    publishers = list(config.publisher_ids())
+    if config.interest_model == "content":
+        assert isinstance(interest_model, AttributeInterest)
+        workload = ContentPublicationWorkload(
+            system,
+            simulator,
+            interest_model,
+            publishers,
+            rate=config.publication_rate,
+        )
+    else:
+        workload = TopicPublicationWorkload(
+            system,
+            simulator,
+            popularity,
+            publishers,
+            rate=config.publication_rate,
+            event_size=config.event_size,
+        )
+    workload.start(duration=config.duration, start_at=config.round_period)
+
+    churn_injector: Optional[ChurnInjector] = None
+    if config.churn_down_probability > 0 and hasattr(system, "registry"):
+        churn_injector = ChurnInjector(
+            simulator,
+            system.registry,
+            period=config.round_period,
+            down_probability=config.churn_down_probability,
+            up_probability=config.churn_up_probability,
+            protected=publishers,
+        )
+        churn_injector.start()
+
+    subscription_churn: Optional[SubscriptionChurnWorkload] = None
+    if config.subscription_churn_rate > 0:
+        churners = list(config.node_ids())[len(publishers):] or list(config.node_ids())
+        subscription_churn = SubscriptionChurnWorkload(
+            system,
+            simulator,
+            popularity,
+            churners,
+            operations_per_unit=config.subscription_churn_rate,
+        )
+        subscription_churn.start(duration=config.duration, start_at=config.round_period)
+
+    simulator.run(until=config.total_time)
+    if churn_injector is not None:
+        churn_injector.stop()
+
+    policy = resolve_policy(config)
+    fairness = summarise_fairness(system.ledger, policy=policy, system_name=config.name)
+    reliability = measure_reliability(
+        workload.schedule.events,
+        system.delivery_log,
+        system.subscriptions,
+        round_period=config.round_period,
+    )
+    totals = system.ledger.totals()
+    total_messages = (
+        totals.gossip_messages_sent
+        + totals.infrastructure_messages
+        + totals.subscription_forwards
+    )
+    return ExperimentResult(
+        config=config,
+        fairness=fairness,
+        reliability=reliability,
+        published_events=list(workload.schedule.events),
+        interest=interest,
+        total_messages=float(total_messages),
+        total_deliveries=system.delivery_log.total_deliveries(),
+        system=system if keep_system else None,
+    )

@@ -1,0 +1,193 @@
+"""Scenario builders: turn an :class:`ExperimentConfig` into live objects.
+
+The builders know how to construct every dissemination system in the
+repository behind a single string name, how to pick the membership provider,
+the interest model, and the fairness policy.  They are used by the runner
+and directly by a few benchmarks that need finer control (for example the
+selfish-node experiment, which swaps node classes for part of the
+population).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..brokers import BrokerSystem
+from ..core import (
+    EXPRESSIVE_POLICY,
+    TOPIC_BASED_POLICY,
+    FairGossipSystem,
+    FairnessPolicy,
+    FanoutSchedule,
+    PayloadSchedule,
+)
+from ..damulticast import DataAwareMulticastSystem
+from ..dht import DksSystem, ScribeSystem, SplitStreamSystem
+from ..gossip import GossipSystem, PushPullGossipNode
+from ..membership import cyclon_provider, full_membership_provider, lpbcast_provider
+from ..pubsub.topics import TopicHierarchy
+from ..sim import BernoulliLoss, Network, NoLoss, Simulator
+from ..workloads import (
+    AttributeInterest,
+    CommunityInterest,
+    InterestAssignment,
+    TopicPopularity,
+    UniformInterest,
+    ZipfInterest,
+)
+from .config import ExperimentConfig
+
+__all__ = [
+    "build_simulation",
+    "build_membership_provider",
+    "build_popularity",
+    "build_interest",
+    "build_system",
+    "resolve_policy",
+    "SYSTEM_NAMES",
+]
+
+#: Names accepted by :func:`build_system`.
+SYSTEM_NAMES = (
+    "gossip",
+    "fair-gossip",
+    "pushpull-gossip",
+    "scribe",
+    "splitstream",
+    "dks",
+    "brokers",
+    "dam",
+)
+
+
+def build_simulation(config: ExperimentConfig) -> Tuple[Simulator, Network]:
+    """Create the simulator and network described by the config."""
+    simulator = Simulator(seed=config.seed)
+    loss = BernoulliLoss(config.loss_rate) if config.loss_rate > 0 else NoLoss()
+    network = Network(simulator, loss_model=loss)
+    return simulator, network
+
+
+def build_membership_provider(config: ExperimentConfig, network: Network):
+    """Pick the membership provider named in the config."""
+    if config.membership == "full":
+        return full_membership_provider(network)
+    if config.membership == "lpbcast":
+        return lpbcast_provider()
+    if config.membership == "cyclon":
+        return cyclon_provider()
+    raise ValueError(f"unknown membership {config.membership!r}")
+
+
+def build_popularity(config: ExperimentConfig) -> TopicPopularity:
+    """Topic popularity for the config (hierarchical for the dam system)."""
+    if config.system == "dam":
+        roots = max(2, config.topics // 4)
+        children = max(2, config.topics // roots)
+        return TopicPopularity.hierarchy(roots, children, exponent=config.topic_exponent)
+    if config.topic_exponent <= 0:
+        return TopicPopularity.uniform(config.topics)
+    return TopicPopularity.zipf(config.topics, exponent=config.topic_exponent)
+
+
+def build_interest(config: ExperimentConfig, popularity: TopicPopularity):
+    """Interest model for the config."""
+    if config.interest_model == "uniform":
+        return UniformInterest(popularity, topics_per_node=config.topics_per_node)
+    if config.interest_model == "zipf":
+        return ZipfInterest(
+            popularity,
+            min_topics=1,
+            max_topics=config.max_topics_per_node,
+        )
+    if config.interest_model == "community":
+        return CommunityInterest(popularity, topics_per_node=config.topics_per_node)
+    if config.interest_model == "content":
+        return AttributeInterest(filters_per_node=config.topics_per_node)
+    raise ValueError(f"unknown interest model {config.interest_model!r}")
+
+
+def resolve_policy(config: ExperimentConfig) -> FairnessPolicy:
+    """The fairness policy named in the config."""
+    if config.fairness_policy in ("expressive", "figure3"):
+        return EXPRESSIVE_POLICY
+    if config.fairness_policy in ("topic", "topic-based", "figure2"):
+        return TOPIC_BASED_POLICY
+    raise ValueError(f"unknown fairness policy {config.fairness_policy!r}")
+
+
+def build_system(
+    config: ExperimentConfig,
+    simulator: Simulator,
+    network: Network,
+    popularity: Optional[TopicPopularity] = None,
+):
+    """Build the dissemination system named by ``config.system``."""
+    node_ids = list(config.node_ids())
+    if config.system in ("gossip", "fair-gossip", "pushpull-gossip"):
+        provider = build_membership_provider(config, network)
+        node_kwargs = {
+            "fanout": config.fanout,
+            "gossip_size": config.gossip_size,
+            "round_period": config.round_period,
+        }
+        if config.system == "fair-gossip":
+            node_kwargs.update(
+                {
+                    "fanout_schedule": FanoutSchedule(
+                        base_fanout=config.fanout,
+                        min_fanout=config.min_fanout,
+                        max_fanout=config.max_fanout,
+                    ),
+                    "payload_schedule": PayloadSchedule(
+                        base_payload=config.gossip_size,
+                        min_payload=config.min_payload,
+                        max_payload=config.max_payload,
+                    ),
+                    "policy": resolve_policy(config),
+                    "adapt_fanout": config.adapt_fanout,
+                    "adapt_payload": config.adapt_payload,
+                }
+            )
+            return FairGossipSystem(
+                simulator,
+                network,
+                node_ids,
+                membership_provider=provider,
+                node_kwargs=node_kwargs,
+            )
+        if config.system == "pushpull-gossip":
+            return GossipSystem(
+                simulator,
+                network,
+                node_ids,
+                membership_provider=provider,
+                node_class=PushPullGossipNode,
+                node_kwargs=node_kwargs,
+            )
+        return GossipSystem(
+            simulator,
+            network,
+            node_ids,
+            membership_provider=provider,
+            node_kwargs=node_kwargs,
+        )
+    if config.system == "scribe":
+        return ScribeSystem(simulator, network, node_ids)
+    if config.system == "splitstream":
+        return SplitStreamSystem(simulator, network, node_ids, stripes=config.stripes)
+    if config.system == "dks":
+        return DksSystem(simulator, network, node_ids)
+    if config.system == "brokers":
+        return BrokerSystem(simulator, network, node_ids, broker_count=config.broker_count)
+    if config.system == "dam":
+        hierarchy = TopicHierarchy(popularity.topics if popularity is not None else ())
+        return DataAwareMulticastSystem(
+            simulator,
+            network,
+            node_ids,
+            hierarchy=hierarchy,
+            fanout=config.fanout,
+            delegates_per_root=config.delegates_per_root,
+        )
+    raise ValueError(f"unknown system {config.system!r}; expected one of {SYSTEM_NAMES}")

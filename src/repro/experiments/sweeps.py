@@ -1,0 +1,85 @@
+"""Parameter sweeps: run the same experiment across a grid of values.
+
+The paper's open questions are mostly of the form "how does X behave as Y
+varies" (reliability vs fanout, fairness vs interest skew, convergence vs
+churn).  :func:`sweep` runs one experiment per parameter value and collects
+the summary rows; :func:`compare` runs the same config across several
+systems, which is the shape of the Figure 1 comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.tables import Table
+from .config import ExperimentConfig
+from .runner import ExperimentResult, run_experiment
+
+__all__ = ["sweep", "compare", "results_table"]
+
+
+def sweep(
+    base: ExperimentConfig,
+    parameter: str,
+    values: Sequence,
+    rename: Optional[Callable[[object], str]] = None,
+    keep_system: bool = False,
+) -> List[ExperimentResult]:
+    """Run ``base`` once per value of ``parameter``.
+
+    The experiment name is suffixed with the value so rows stay identifiable
+    in tables; ``rename`` customises that suffix.
+    """
+    results: List[ExperimentResult] = []
+    for value in values:
+        label = rename(value) if rename is not None else str(value)
+        config = base.with_overrides(**{parameter: value, "name": f"{base.name}/{parameter}={label}"})
+        results.append(run_experiment(config, keep_system=keep_system))
+    return results
+
+
+def compare(
+    base: ExperimentConfig,
+    systems: Sequence[str],
+    keep_system: bool = False,
+) -> List[ExperimentResult]:
+    """Run the same scenario on several dissemination systems."""
+    results: List[ExperimentResult] = []
+    for system in systems:
+        config = base.with_overrides(system=system, name=f"{base.name}/{system}")
+        results.append(run_experiment(config, keep_system=keep_system))
+    return results
+
+
+def results_table(results: Sequence[ExperimentResult], title: str = "") -> Table:
+    """Tabulate the headline numbers of several results."""
+    table = Table(
+        [
+            "name",
+            "system",
+            "nodes",
+            "delivery_ratio",
+            "mean_rounds",
+            "ratio_jain",
+            "ratio_spread",
+            "wasted_share",
+            "contribution_jain",
+            "total_messages",
+        ],
+        title=title,
+    )
+    for result in results:
+        report = result.fairness.report
+        table.add_row(
+            name=result.config.name,
+            system=result.config.system,
+            nodes=result.config.nodes,
+            delivery_ratio=result.reliability.delivery_ratio,
+            mean_rounds=result.reliability.mean_rounds,
+            ratio_jain=report.ratio_jain,
+            ratio_spread=report.ratio_spread,
+            wasted_share=report.wasted_share,
+            contribution_jain=report.contribution_jain,
+            total_messages=result.total_messages,
+        )
+    return table

@@ -1,0 +1,19 @@
+"""Gossip-based event dissemination (Figure 4 of the paper and variants)."""
+
+from .buffers import BufferedEvent, EventBuffer, SELECTION_STRATEGIES
+from .push import GOSSIP_MESSAGE_KIND, GossipMessage, PushGossipNode
+from .pushpull import DigestMessage, PullRequest, PushPullGossipNode
+from .system import GossipSystem
+
+__all__ = [
+    "EventBuffer",
+    "BufferedEvent",
+    "SELECTION_STRATEGIES",
+    "GossipMessage",
+    "PushGossipNode",
+    "GOSSIP_MESSAGE_KIND",
+    "PushPullGossipNode",
+    "DigestMessage",
+    "PullRequest",
+    "GossipSystem",
+]

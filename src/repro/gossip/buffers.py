@@ -1,0 +1,174 @@
+"""Event buffers and the ``SELECTEVENTS(N)`` strategies of Figure 4.
+
+Every gossip node keeps a bounded buffer of events it has recently seen
+(the paper's ``events`` set) plus the set of event ids it has already
+delivered (the ``delivered`` set).  Each round the node picks at most ``N``
+events from the buffer to put into the outgoing gossip message; the
+*selection strategy* decides which ones.  The strategy matters both for
+dissemination speed (prefer young events) and for fairness (a selfish node
+can bias selection towards stale events to inflate apparent contribution,
+challenge 6 of §5.2 — see :mod:`repro.core.bias`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..pubsub.events import Event
+
+__all__ = ["BufferedEvent", "EventBuffer", "SELECTION_STRATEGIES"]
+
+
+@dataclass
+class BufferedEvent:
+    """An event held in a node's gossip buffer with local bookkeeping."""
+
+    event: Event
+    received_at: float
+    forwarded_count: int = 0
+    rounds_held: int = 0
+
+    @property
+    def event_id(self) -> str:
+        return self.event.event_id
+
+
+#: Names of the built-in selection strategies.
+SELECTION_STRATEGIES = ("random", "newest", "oldest", "least-forwarded", "stale-first")
+
+
+class EventBuffer:
+    """Bounded buffer of recently seen events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of events held; when full, the event that has been
+        held for the most rounds is evicted (lpbcast-style purging).
+    max_rounds:
+        Events held longer than this many rounds are garbage-collected at
+        the start of each round, bounding both memory and the tail of
+        redundant forwarding.
+    """
+
+    def __init__(self, capacity: int = 200, max_rounds: int = 20) -> None:
+        if capacity <= 0 or max_rounds <= 0:
+            raise ValueError("capacity and max_rounds must be positive")
+        self.capacity = capacity
+        self.max_rounds = max_rounds
+        self._entries: Dict[str, BufferedEvent] = {}
+        self.evictions = 0
+        self.expirations = 0
+
+    # ------------------------------------------------------------ mutation
+
+    def add(self, event: Event, received_at: float) -> bool:
+        """Insert an event; returns ``False`` if it was already buffered."""
+        if event.event_id in self._entries:
+            return False
+        if len(self._entries) >= self.capacity:
+            self._evict_one()
+        self._entries[event.event_id] = BufferedEvent(event=event, received_at=received_at)
+        return True
+
+    def _evict_one(self) -> None:
+        victim = max(
+            self._entries.values(),
+            key=lambda entry: (entry.rounds_held, entry.forwarded_count, entry.event_id),
+        )
+        del self._entries[victim.event_id]
+        self.evictions += 1
+
+    def start_round(self) -> int:
+        """Age all entries by one round and expire old ones; returns expirations."""
+        expired = [
+            entry.event_id
+            for entry in self._entries.values()
+            if entry.rounds_held + 1 > self.max_rounds
+        ]
+        for event_id in expired:
+            del self._entries[event_id]
+        self.expirations += len(expired)
+        for entry in self._entries.values():
+            entry.rounds_held += 1
+        return len(expired)
+
+    def mark_forwarded(self, event_ids: Iterable[str]) -> None:
+        """Record that the given events were put into an outgoing message."""
+        for event_id in event_ids:
+            entry = self._entries.get(event_id)
+            if entry is not None:
+                entry.forwarded_count += 1
+
+    def remove(self, event_id: str) -> bool:
+        """Drop one event from the buffer."""
+        return self._entries.pop(event_id, None) is not None
+
+    # ------------------------------------------------------------ selection
+
+    def select(
+        self, count: int, rng: random.Random, strategy: str = "random"
+    ) -> List[Event]:
+        """Pick up to ``count`` events according to ``strategy``.
+
+        Strategies
+        ----------
+        ``random``
+            Uniform sample — the baseline of Figure 4.
+        ``newest``
+            Fewest rounds held first; spreads fresh events fastest.
+        ``oldest``
+            Most rounds held first.
+        ``least-forwarded``
+            Events this node has forwarded the fewest times first; maximises
+            the marginal usefulness of each forwarded byte.
+        ``stale-first``
+            Alias of ``oldest`` kept separate because the selfish-node model
+            uses it deliberately to inflate useless contribution.
+        """
+        if count <= 0 or not self._entries:
+            return []
+        entries = list(self._entries.values())
+        # Ties (events with identical age or forward counts) are broken at
+        # random; a deterministic tie-break would starve whichever events
+        # happen to sort last when more than ``count`` tie, as can occur
+        # when a publisher injects a burst within one round.
+        rng.shuffle(entries)
+        if strategy == "random":
+            chosen = entries[:count]
+        elif strategy == "newest":
+            chosen = sorted(entries, key=lambda entry: entry.rounds_held)[:count]
+        elif strategy in ("oldest", "stale-first"):
+            chosen = sorted(entries, key=lambda entry: -entry.rounds_held)[:count]
+        elif strategy == "least-forwarded":
+            chosen = sorted(
+                entries, key=lambda entry: (entry.forwarded_count, entry.rounds_held)
+            )[:count]
+        else:
+            raise ValueError(
+                f"unknown selection strategy {strategy!r}; expected one of {SELECTION_STRATEGIES}"
+            )
+        return [entry.event for entry in chosen]
+
+    # -------------------------------------------------------------- queries
+
+    def __contains__(self, event_id: str) -> bool:
+        return event_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def event_ids(self) -> List[str]:
+        """Ids of buffered events, sorted."""
+        return sorted(self._entries)
+
+    def events(self) -> List[Event]:
+        """Buffered events, sorted by id."""
+        return [self._entries[event_id].event for event_id in sorted(self._entries)]
+
+    def get(self, event_id: str) -> Optional[Event]:
+        """Return the buffered event with this id, if present."""
+        entry = self._entries.get(event_id)
+        return entry.event if entry is not None else None

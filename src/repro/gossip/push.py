@@ -1,0 +1,314 @@
+"""The basic push gossip dissemination algorithm (Figure 4 of the paper).
+
+Every ``round_period`` time units each process:
+
+1. selects ``F`` communication partners from its membership component
+   (``SELECTPARTICIPANTS(F)``),
+2. selects at most ``N`` events from its buffer (``SELECTEVENTS(N)``),
+3. sends each partner a gossip message carrying those events.
+
+On receiving a gossip message, events not seen before are added to the
+buffer and — if the local interest function matches (``ISINTERESTED(e)``) —
+delivered.  The protocol is *interest-oblivious in forwarding* and
+*interest-aware only in delivery*, which is exactly why the paper calls
+classic gossip unfair: a node with no interest in anything still forwards as
+much as everyone else.
+
+Accounting: every gossip message sent adds to the sender's contribution,
+every membership message adds to its infrastructure contribution, and every
+delivery adds to the receiver's benefit (see
+:class:`~repro.core.accounting.WorkLedger`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.accounting import WorkLedger
+from ..membership.base import MembershipComponent, MembershipProvider
+from ..membership.lpbcast import LpbcastMembership, MembershipDigest
+from ..pubsub.events import Event
+from ..pubsub.filters import Filter, InterestFunction
+from ..pubsub.interfaces import DeliveryCallback, DeliveryLog
+from ..sim.engine import Simulator
+from ..sim.network import Message, Network
+from ..sim.node import Process
+from .buffers import EventBuffer
+
+__all__ = ["GossipMessage", "PushGossipNode", "GOSSIP_MESSAGE_KIND"]
+
+GOSSIP_MESSAGE_KIND = "gossip.push"
+
+
+@dataclass(frozen=True)
+class GossipMessage:
+    """Payload of one push gossip message.
+
+    Attributes
+    ----------
+    events:
+        The events selected by ``SELECTEVENTS(N)``.
+    sender_benefit_rate:
+        The sender's recent deliveries-per-round estimate, piggybacked so
+        receivers can estimate the system-wide benefit distribution without
+        extra messages (used by the adaptive fair protocol; the classic
+        protocol simply ignores it).
+    membership_digest:
+        Optional lpbcast-style digest when that membership flavour is used.
+    """
+
+    events: Tuple[Event, ...]
+    sender_benefit_rate: float = 0.0
+    membership_digest: Optional[MembershipDigest] = None
+
+    @property
+    def size(self) -> int:
+        """Abstract size: total payload size of the carried events."""
+        return sum(event.size for event in self.events) or 1
+
+
+class PushGossipNode(Process):
+    """One participant running the Figure 4 push gossip algorithm.
+
+    Parameters
+    ----------
+    node_id, simulator, network:
+        Standard process wiring.
+    membership_provider:
+        Factory building this node's membership component.
+    ledger:
+        Shared work/benefit ledger (contribution and benefit recording).
+    delivery_log:
+        Shared log of deliveries (reliability and latency measurements).
+    fanout:
+        The static fanout ``F`` of Figure 4.
+    gossip_size:
+        The static gossip message size ``N`` of Figure 4 (events per message).
+    round_period:
+        Gossip round length in simulated time units.
+    selection_strategy:
+        ``SELECTEVENTS`` strategy (see :class:`~repro.gossip.buffers.EventBuffer`).
+    buffer_capacity / buffer_max_rounds:
+        Buffer sizing.
+    round_jitter:
+        Uniform jitter added to each round to avoid lock-step rounds.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        simulator: Simulator,
+        network: Network,
+        membership_provider: MembershipProvider,
+        ledger: WorkLedger,
+        delivery_log: DeliveryLog,
+        fanout: int = 3,
+        gossip_size: int = 8,
+        round_period: float = 1.0,
+        selection_strategy: str = "newest",
+        buffer_capacity: int = 500,
+        buffer_max_rounds: int = 20,
+        round_jitter: float = 0.05,
+    ) -> None:
+        super().__init__(node_id, simulator, network)
+        if fanout < 0:
+            raise ValueError("fanout must be non-negative")
+        if gossip_size <= 0:
+            raise ValueError("gossip_size must be positive")
+        if round_period <= 0:
+            raise ValueError("round_period must be positive")
+        self.membership: MembershipComponent = membership_provider(self)
+        self.ledger = ledger
+        self.delivery_log = delivery_log
+        self.fanout = fanout
+        self.gossip_size = gossip_size
+        self.round_period = round_period
+        self.selection_strategy = selection_strategy
+        self.round_jitter = round_jitter
+        self.interest = InterestFunction()
+        self.buffer = EventBuffer(capacity=buffer_capacity, max_rounds=buffer_max_rounds)
+        self.seen_event_ids: set = set()
+        self.delivered_event_ids: set = set()
+        self.rounds_executed = 0
+        self.deliveries_this_window = 0
+        self._callbacks: List[DeliveryCallback] = []
+        #: Optional audit sink (see :mod:`repro.core.bias`); receivers report
+        #: how useful each sender's forwards were, which the bias detector
+        #: uses to spot peers inflating their contribution with stale events.
+        self.forward_audit = None
+        self.ledger.ensure_node(node_id)
+
+    # -------------------------------------------------------------- wiring
+
+    def add_delivery_callback(self, callback: DeliveryCallback) -> None:
+        """Register an application callback invoked on every delivery."""
+        self._callbacks.append(callback)
+
+    def bootstrap(self, seeds: Sequence[str]) -> None:
+        """Seed the membership component with initial contacts."""
+        self.membership.bootstrap(seeds)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def on_start(self) -> None:
+        self.add_timer(
+            "gossip-round",
+            self.round_period,
+            initial_delay=self.round_period,
+            jitter=self.round_jitter,
+        )
+
+    def on_crash(self) -> None:
+        self.ledger.record_crash(self.node_id)
+
+    # -------------------------------------------------------- subscription
+
+    def subscribe(self, subscription_filter: Filter) -> bool:
+        """Add a filter to the local interest function."""
+        added = self.interest.add(subscription_filter)
+        if added:
+            self.ledger.record_subscribe(self.node_id)
+        return added
+
+    def unsubscribe(self, subscription_filter: Filter) -> bool:
+        """Remove a filter from the local interest function."""
+        removed = self.interest.remove(subscription_filter)
+        if removed:
+            self.ledger.record_unsubscribe(self.node_id)
+        return removed
+
+    def is_interested(self, event: Event) -> bool:
+        """The paper's ``ISINTERESTED(e)``."""
+        return self.interest.is_interested(event)
+
+    # ----------------------------------------------------------- publishing
+
+    def publish(self, event: Event) -> None:
+        """Insert a locally published event; it spreads on subsequent rounds."""
+        if not self.alive:
+            return
+        self.ledger.record_publish(self.node_id)
+        self._absorb_event(event)
+
+    # ----------------------------------------------------------- the round
+
+    def on_timer(self, name: str) -> None:
+        if name != "gossip-round":
+            return
+        self.rounds_executed += 1
+        self.buffer.start_round()
+        self.membership.on_round()
+        self.execute_gossip_round()
+        self.after_round()
+
+    def current_fanout(self) -> int:
+        """Fanout to use this round; the fair protocol overrides this."""
+        return self.fanout
+
+    def current_gossip_size(self) -> int:
+        """Gossip message size to use this round; the fair protocol overrides this."""
+        return self.gossip_size
+
+    def benefit_rate(self) -> float:
+        """Recent deliveries per round, piggybacked on outgoing messages."""
+        if self.rounds_executed == 0:
+            return 0.0
+        return self.deliveries_this_window / max(self.rounds_executed, 1)
+
+    def execute_gossip_round(self) -> None:
+        """Lines 4–10 of Figure 4."""
+        fanout = self.current_fanout()
+        gossip_size = self.current_gossip_size()
+        if fanout <= 0:
+            return
+        rng = self.simulator.rng.stream(f"gossip:{self.node_id}")
+        neighbors = self.select_participants(fanout, rng)
+        if not neighbors:
+            return
+        events = self.select_events(gossip_size, rng)
+        if not events:
+            return
+        digest = None
+        if isinstance(self.membership, LpbcastMembership):
+            digest = self.membership.digest_for_gossip()
+        message = GossipMessage(
+            events=tuple(events),
+            sender_benefit_rate=self.benefit_rate(),
+            membership_digest=digest,
+        )
+        self.buffer.mark_forwarded([event.event_id for event in events])
+        for neighbor in neighbors:
+            self.send(neighbor, GOSSIP_MESSAGE_KIND, payload=message, size=message.size)
+        self.ledger.record_gossip_send(
+            self.node_id,
+            messages=len(neighbors),
+            events=len(events) * len(neighbors),
+            size=message.size * len(neighbors),
+        )
+
+    def select_participants(self, fanout: int, rng) -> List[str]:
+        """``SELECTPARTICIPANTS(F)`` — uniform selection from the membership view."""
+        return self.membership.select_partners(fanout, rng)
+
+    def select_events(self, count: int, rng) -> List[Event]:
+        """``SELECTEVENTS(N in events)``."""
+        return self.buffer.select(count, rng, strategy=self.selection_strategy)
+
+    def after_round(self) -> None:
+        """Hook for subclasses (adaptive controllers run here)."""
+
+    # ------------------------------------------------------------ receiving
+
+    def on_message(self, message: Message) -> None:
+        if self.membership.handle(message):
+            return
+        if message.kind == GOSSIP_MESSAGE_KIND:
+            self._handle_gossip(message)
+
+    def _handle_gossip(self, message: Message) -> None:
+        payload: GossipMessage = message.payload
+        if payload.membership_digest is not None and isinstance(
+            self.membership, LpbcastMembership
+        ):
+            self.membership.absorb_digest(payload.membership_digest)
+        self.observe_peer_benefit(message.sender, payload.sender_benefit_rate)
+        new_events = 0
+        for event in payload.events:
+            if self._absorb_event(event, from_peer=message.sender):
+                new_events += 1
+        if self.forward_audit is not None and payload.events:
+            self.forward_audit.observe(message.sender, new_events, len(payload.events))
+
+    def observe_peer_benefit(self, peer_id: str, benefit_rate: float) -> None:
+        """Hook used by the adaptive fair protocol to track peer benefits."""
+
+    def _absorb_event(self, event: Event, from_peer: Optional[str] = None) -> bool:
+        """Lines 12–20 of Figure 4; returns True if the event was new."""
+        if event.event_id in self.seen_event_ids:
+            return False
+        self.seen_event_ids.add(event.event_id)
+        self.buffer.add(event, received_at=self.simulator.now)
+        if self.is_interested(event):
+            self.deliver(event)
+        return True
+
+    def deliver(self, event: Event) -> None:
+        """``DELIVER(e)``: record the delivery and notify application callbacks."""
+        if event.event_id in self.delivered_event_ids:
+            return
+        self.delivered_event_ids.add(event.event_id)
+        self.deliveries_this_window += 1
+        self.ledger.record_delivery(self.node_id)
+        self.delivery_log.record(self.node_id, event, delivered_at=self.simulator.now)
+        for callback in self._callbacks:
+            callback(self.node_id, event)
+
+    # ----------------------------------------------------------- accounting
+
+    def send(self, recipient: str, kind: str, payload: object = None, size: int = 1):
+        """Send a message, charging infrastructure messages to the ledger."""
+        message = super().send(recipient, kind, payload=payload, size=size)
+        if message is not None and kind.startswith(MembershipComponent.MESSAGE_PREFIX):
+            self.ledger.record_infrastructure(self.node_id)
+        return message

@@ -1,0 +1,127 @@
+"""Push-pull gossip variant.
+
+The push protocol of Figure 4 sends full events eagerly; when events are
+large, most of that traffic is redundant because receivers already know most
+of what they are sent.  The push-pull variant first advertises event *ids*
+(a digest), and the receiver pulls only the events it is missing.  The
+variant is included because it changes what "contribution" means physically:
+digest messages are small, pull replies are large, so the payload-weighted
+fairness accounting of Figure 3 treats the two protocols differently even
+when their message counts are similar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..pubsub.events import Event
+from ..sim.network import Message
+from .push import GOSSIP_MESSAGE_KIND, GossipMessage, PushGossipNode
+
+__all__ = ["DigestMessage", "PullRequest", "PushPullGossipNode"]
+
+DIGEST_KIND = "gossip.digest"
+PULL_REQUEST_KIND = "gossip.pull-request"
+PULL_REPLY_KIND = "gossip.pull-reply"
+
+
+@dataclass(frozen=True)
+class DigestMessage:
+    """Advertisement of event ids known by the sender."""
+
+    event_ids: Tuple[str, ...]
+    sender_benefit_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class PullRequest:
+    """Request for the events the receiver was missing."""
+
+    event_ids: Tuple[str, ...]
+
+
+class PushPullGossipNode(PushGossipNode):
+    """Gossip node that advertises digests and serves pull requests.
+
+    The node still pushes full events for *fresh* events it published itself
+    this round (so new events enter the system without an extra round-trip),
+    and uses digests for everything else.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.pull_requests_served = 0
+        self.pull_requests_sent = 0
+
+    # ----------------------------------------------------------- the round
+
+    def execute_gossip_round(self) -> None:
+        fanout = self.current_fanout()
+        gossip_size = self.current_gossip_size()
+        if fanout <= 0:
+            return
+        rng = self.simulator.rng.stream(f"gossip:{self.node_id}")
+        neighbors = self.select_participants(fanout, rng)
+        if not neighbors:
+            return
+        events = self.select_events(gossip_size, rng)
+        if not events:
+            return
+        digest = DigestMessage(
+            event_ids=tuple(event.event_id for event in events),
+            sender_benefit_rate=self.benefit_rate(),
+        )
+        self.buffer.mark_forwarded(digest.event_ids)
+        for neighbor in neighbors:
+            self.send(neighbor, DIGEST_KIND, payload=digest, size=max(1, len(digest.event_ids) // 4))
+        self.ledger.record_gossip_send(
+            self.node_id,
+            messages=len(neighbors),
+            events=0,
+            size=max(1, len(digest.event_ids) // 4) * len(neighbors),
+        )
+
+    # ------------------------------------------------------------ receiving
+
+    def on_message(self, message: Message) -> None:
+        if self.membership.handle(message):
+            return
+        if message.kind == DIGEST_KIND:
+            self._handle_digest(message)
+        elif message.kind == PULL_REQUEST_KIND:
+            self._handle_pull_request(message)
+        elif message.kind in (PULL_REPLY_KIND, GOSSIP_MESSAGE_KIND):
+            self._handle_gossip(message)
+
+    def _handle_digest(self, message: Message) -> None:
+        payload: DigestMessage = message.payload
+        self.observe_peer_benefit(message.sender, payload.sender_benefit_rate)
+        missing = tuple(
+            event_id for event_id in payload.event_ids if event_id not in self.seen_event_ids
+        )
+        if not missing:
+            return
+        self.pull_requests_sent += 1
+        self.send(
+            message.sender,
+            PULL_REQUEST_KIND,
+            payload=PullRequest(event_ids=missing),
+            size=max(1, len(missing) // 4),
+        )
+
+    def _handle_pull_request(self, message: Message) -> None:
+        payload: PullRequest = message.payload
+        events = [
+            event
+            for event in (self.buffer.get(event_id) for event_id in payload.event_ids)
+            if event is not None
+        ]
+        if not events:
+            return
+        reply = GossipMessage(events=tuple(events), sender_benefit_rate=self.benefit_rate())
+        self.pull_requests_served += 1
+        self.send(message.sender, PULL_REPLY_KIND, payload=reply, size=reply.size)
+        self.ledger.record_gossip_send(
+            self.node_id, messages=1, events=len(events), size=reply.size
+        )

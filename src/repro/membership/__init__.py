@@ -1,0 +1,31 @@
+"""Membership / peer sampling substrate (§4.2 of the paper).
+
+Provides the ``SELECTPARTICIPANTS`` building block of Figure 4: a
+full-membership oracle, CYCLON-style view shuffling, lpbcast-style
+piggybacked digests, and an interest-aware selection bias that can wrap any
+of them.
+"""
+
+from .base import MembershipComponent, MembershipProvider
+from .cyclon import CyclonMembership, ShufflePayload, cyclon_provider
+from .full import FullMembership, full_membership_provider
+from .interest_aware import InterestAwareMembership, interest_aware_provider
+from .lpbcast import LpbcastMembership, MembershipDigest, lpbcast_provider
+from .views import NodeDescriptor, PartialView
+
+__all__ = [
+    "MembershipComponent",
+    "MembershipProvider",
+    "NodeDescriptor",
+    "PartialView",
+    "FullMembership",
+    "full_membership_provider",
+    "CyclonMembership",
+    "ShufflePayload",
+    "cyclon_provider",
+    "LpbcastMembership",
+    "MembershipDigest",
+    "lpbcast_provider",
+    "InterestAwareMembership",
+    "interest_aware_provider",
+]

@@ -1,0 +1,53 @@
+"""Full-membership oracle.
+
+Classic gossip analyses (and the basic algorithm of Figure 4) assume that a
+process can contact communication partners chosen *uniformly at random among
+all processes*.  Maintaining that global knowledge is exactly what the
+peer-sampling literature replaces; the oracle here keeps the assumption
+available so experiments can separate dissemination effects from membership
+effects.  The oracle consults the network's alive set at selection time, so
+churn is still visible to it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List
+
+from ..sim.network import Message, Network
+from ..sim.node import Process
+from .base import MembershipComponent
+
+__all__ = ["FullMembership", "full_membership_provider"]
+
+
+class FullMembership(MembershipComponent):
+    """Oracle component backed by the network's registry of alive nodes."""
+
+    def __init__(self, owner: Process, network: Network) -> None:
+        super().__init__(owner)
+        self._network = network
+
+    def select_partners(
+        self, count: int, rng: random.Random, exclude: Iterable[str] = ()
+    ) -> List[str]:
+        excluded = set(exclude) | {self.owner.node_id}
+        candidates = sorted(self._network.alive_nodes() - excluded)
+        if count >= len(candidates):
+            return candidates
+        return rng.sample(candidates, count)
+
+    def known_peers(self) -> List[str]:
+        return sorted(self._network.alive_nodes() - {self.owner.node_id})
+
+    def handle(self, message: Message) -> bool:
+        return False
+
+
+def full_membership_provider(network: Network):
+    """Return a provider building :class:`FullMembership` components."""
+
+    def provider(owner: Process) -> FullMembership:
+        return FullMembership(owner, network)
+
+    return provider

@@ -1,0 +1,150 @@
+"""Partial views: bounded sets of neighbour descriptors.
+
+Gossip protocols do not know the whole system; each process keeps a *partial
+view* — a small set of node descriptors with freshness information — and the
+peer-sampling service (CYCLON, lpbcast-style exchanges, §4.2 references
+[2, 11, 12, 13, 15]) keeps that view fresh and well mixed.  The view is the
+only source from which ``SELECTPARTICIPANTS(F)`` of Figure 4 draws gossip
+targets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["NodeDescriptor", "PartialView"]
+
+
+@dataclass(frozen=True)
+class NodeDescriptor:
+    """Descriptor of a remote node as known by some process.
+
+    Attributes
+    ----------
+    node_id:
+        Identifier of the described node.
+    age:
+        Number of shuffle rounds since the descriptor was created at its
+        subject; CYCLON uses the age to retire stale entries, which is what
+        removes crashed nodes from views.
+    topics:
+        Optional snapshot of the subject's subscribed topics, used by the
+        interest-aware view bias.
+    """
+
+    node_id: str
+    age: int = 0
+    topics: Tuple[str, ...] = ()
+
+    def aged(self, increment: int = 1) -> "NodeDescriptor":
+        """Return a copy with the age increased by ``increment``."""
+        return replace(self, age=self.age + increment)
+
+    def refreshed(self) -> "NodeDescriptor":
+        """Return a copy with age reset to zero (a fresh sighting)."""
+        return replace(self, age=0)
+
+
+class PartialView:
+    """A bounded collection of :class:`NodeDescriptor`, one per node id.
+
+    The view never contains its owner and never holds two descriptors for
+    the same node; inserting a duplicate keeps the younger descriptor.
+    """
+
+    def __init__(self, owner_id: str, capacity: int = 20) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.owner_id = owner_id
+        self.capacity = capacity
+        self._entries: Dict[str, NodeDescriptor] = {}
+
+    # ------------------------------------------------------------ mutation
+
+    def add(self, descriptor: NodeDescriptor) -> bool:
+        """Insert a descriptor, respecting capacity.
+
+        Returns ``True`` if the view changed.  When full, the oldest entry is
+        evicted only if the incoming descriptor is younger than it.
+        """
+        if descriptor.node_id == self.owner_id:
+            return False
+        existing = self._entries.get(descriptor.node_id)
+        if existing is not None:
+            if descriptor.age < existing.age:
+                self._entries[descriptor.node_id] = descriptor
+                return True
+            return False
+        if len(self._entries) < self.capacity:
+            self._entries[descriptor.node_id] = descriptor
+            return True
+        oldest = self.oldest()
+        if oldest is not None and descriptor.age < oldest.age:
+            del self._entries[oldest.node_id]
+            self._entries[descriptor.node_id] = descriptor
+            return True
+        return False
+
+    def add_all(self, descriptors: Iterable[NodeDescriptor]) -> int:
+        """Insert several descriptors; returns how many changed the view."""
+        return sum(1 for descriptor in descriptors if self.add(descriptor))
+
+    def remove(self, node_id: str) -> bool:
+        """Drop the descriptor for ``node_id`` if present."""
+        return self._entries.pop(node_id, None) is not None
+
+    def replace_entries(self, descriptors: Iterable[NodeDescriptor]) -> None:
+        """Replace the whole content (used by shuffle responses)."""
+        self._entries.clear()
+        for descriptor in descriptors:
+            if descriptor.node_id != self.owner_id and len(self._entries) < self.capacity:
+                self._entries[descriptor.node_id] = descriptor
+
+    def age_all(self, increment: int = 1) -> None:
+        """Increase the age of every descriptor (one shuffle round passed)."""
+        self._entries = {
+            node_id: descriptor.aged(increment) for node_id, descriptor in self._entries.items()
+        }
+
+    # ------------------------------------------------------------- queries
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def node_ids(self) -> List[str]:
+        """Ids of all described nodes, sorted for determinism."""
+        return sorted(self._entries)
+
+    def descriptors(self) -> List[NodeDescriptor]:
+        """All descriptors, sorted by node id."""
+        return [self._entries[node_id] for node_id in sorted(self._entries)]
+
+    def get(self, node_id: str) -> Optional[NodeDescriptor]:
+        """Descriptor for ``node_id`` if present."""
+        return self._entries.get(node_id)
+
+    def oldest(self) -> Optional[NodeDescriptor]:
+        """The descriptor with the highest age (ties broken by node id)."""
+        if not self._entries:
+            return None
+        return max(self.descriptors(), key=lambda descriptor: (descriptor.age, descriptor.node_id))
+
+    def sample(self, rng: random.Random, count: int, exclude: Iterable[str] = ()) -> List[str]:
+        """Uniformly sample up to ``count`` distinct node ids from the view."""
+        excluded = set(exclude) | {self.owner_id}
+        candidates = [node_id for node_id in self.node_ids() if node_id not in excluded]
+        if count >= len(candidates):
+            return candidates
+        return rng.sample(candidates, count)
+
+    def sample_descriptors(self, rng: random.Random, count: int) -> List[NodeDescriptor]:
+        """Uniformly sample up to ``count`` descriptors."""
+        descriptors = self.descriptors()
+        if count >= len(descriptors):
+            return descriptors
+        return rng.sample(descriptors, count)

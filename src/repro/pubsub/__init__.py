@@ -1,0 +1,53 @@
+"""Selective information dissemination model (Section 2 of the paper).
+
+Events, topics and topic hierarchies, subscription filters (topic-based and
+content-based), subscription tables, matching engines, and the
+publish/subscribe/unsubscribe interface that every dissemination system in
+this repository implements.
+"""
+
+from .events import Event, EventFactory, TOPIC_ATTRIBUTE
+from .filters import (
+    AndFilter,
+    AttributeCondition,
+    ContentFilter,
+    Filter,
+    InterestFunction,
+    MatchAllFilter,
+    MatchNoneFilter,
+    NotFilter,
+    OrFilter,
+    TopicFilter,
+)
+from .interfaces import DeliveryCallback, DeliveryLog, DeliveryRecord, DisseminationSystem
+from .matching import CountingContentIndex, MatchingEngine, TopicIndex
+from .subscriptions import Subscription, SubscriptionTable
+from .topics import Topic, TopicHierarchy, topic_path
+
+__all__ = [
+    "Event",
+    "EventFactory",
+    "TOPIC_ATTRIBUTE",
+    "Filter",
+    "TopicFilter",
+    "ContentFilter",
+    "AttributeCondition",
+    "AndFilter",
+    "OrFilter",
+    "NotFilter",
+    "MatchAllFilter",
+    "MatchNoneFilter",
+    "InterestFunction",
+    "DeliveryCallback",
+    "DeliveryLog",
+    "DeliveryRecord",
+    "DisseminationSystem",
+    "MatchingEngine",
+    "TopicIndex",
+    "CountingContentIndex",
+    "Subscription",
+    "SubscriptionTable",
+    "Topic",
+    "TopicHierarchy",
+    "topic_path",
+]

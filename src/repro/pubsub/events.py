@@ -1,0 +1,116 @@
+"""Events: the unit of information the system disseminates.
+
+Section 2 of the paper models an event as carrying *attributes and
+corresponding values* which are matched against filters.  Topic-based
+selection is the degenerate case of a single ``topic`` attribute without
+conditions, so a single :class:`Event` type serves both the topic-based and
+the expressive (content-based) dissemination modes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["Event", "EventFactory", "TOPIC_ATTRIBUTE"]
+
+#: Reserved attribute name that carries the topic for topic-based selection.
+TOPIC_ATTRIBUTE = "topic"
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable published event.
+
+    Attributes
+    ----------
+    event_id:
+        Globally unique identifier (publisher id + a publisher-local
+        sequence number is the usual scheme).
+    publisher:
+        Node id of the publishing process.
+    attributes:
+        Attribute/value mapping, including ``topic`` when the event belongs
+        to a topic.  Values are restricted to hashable scalars so matching
+        stays cheap.
+    published_at:
+        Simulated time of publication (used for latency/round measurements).
+    size:
+        Abstract payload size used by the payload-aware fairness accounting
+        (Figure 3 weighs contribution by gossip message size).
+    """
+
+    event_id: str
+    publisher: str
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    published_at: float = 0.0
+    size: int = 1
+
+    @property
+    def topic(self) -> Optional[str]:
+        """The event's topic, or ``None`` for purely content-based events."""
+        value = self.attributes.get(TOPIC_ATTRIBUTE)
+        return None if value is None else str(value)
+
+    def attribute(self, name: str, default: Any = None) -> Any:
+        """Return a single attribute value with an optional default."""
+        return self.attributes.get(name, default)
+
+    def with_time(self, published_at: float) -> "Event":
+        """Return a copy stamped with a publication time."""
+        return Event(
+            event_id=self.event_id,
+            publisher=self.publisher,
+            attributes=dict(self.attributes),
+            published_at=published_at,
+            size=self.size,
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.event_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.event_id == other.event_id
+
+
+class EventFactory:
+    """Creates events with unique ids for a given publisher.
+
+    The factory guarantees uniqueness by combining the publisher id with a
+    local monotonically increasing sequence number, mirroring how real
+    publish/subscribe clients generate event ids without coordination.
+    """
+
+    def __init__(self, publisher: str) -> None:
+        self.publisher = publisher
+        self._sequence = itertools.count()
+        self._created = 0
+
+    def create(
+        self,
+        attributes: Optional[Mapping[str, Any]] = None,
+        topic: Optional[str] = None,
+        published_at: float = 0.0,
+        size: int = 1,
+    ) -> Event:
+        """Build a new event; ``topic`` is merged into the attribute map."""
+        merged: Dict[str, Any] = dict(attributes or {})
+        if topic is not None:
+            merged[TOPIC_ATTRIBUTE] = topic
+        sequence = next(self._sequence)
+        self._created += 1
+        return Event(
+            event_id=f"{self.publisher}#{sequence}",
+            publisher=self.publisher,
+            attributes=merged,
+            published_at=published_at,
+            size=size,
+        )
+
+    @property
+    def created_count(self) -> int:
+        """Number of events created so far by this factory."""
+        return self._created

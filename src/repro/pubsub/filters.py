@@ -1,0 +1,312 @@
+"""Subscription filters — the interest function I(p, e) of the paper.
+
+Section 2 defines two levels of expressiveness:
+
+* **topic-based** — a filter with a single ``topic`` attribute and no
+  conditions (:class:`TopicFilter`);
+* **content-based** — a filter specifying several attributes and conditions
+  that must all hold (:class:`ContentFilter` built from
+  :class:`AttributeCondition` predicates).
+
+Composite filters (:class:`AndFilter`, :class:`OrFilter`, :class:`NotFilter`)
+let workloads express richer interests, and :class:`InterestFunction` bundles
+a process's complete set of filters into the paper's ``ISINTERESTED(e)``
+predicate used by the gossip algorithm of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .events import Event, TOPIC_ATTRIBUTE
+
+__all__ = [
+    "Filter",
+    "TopicFilter",
+    "AttributeCondition",
+    "ContentFilter",
+    "AndFilter",
+    "OrFilter",
+    "NotFilter",
+    "MatchAllFilter",
+    "MatchNoneFilter",
+    "InterestFunction",
+]
+
+
+class Filter:
+    """Base class for all filters.
+
+    Subclasses implement :meth:`matches`; the ``filter_id`` property gives a
+    stable identifier used by subscription tables and by the fairness
+    accounting, which charges processes per placed filter (Figure 2).
+    """
+
+    def matches(self, event: Event) -> bool:
+        """Whether the event satisfies this filter."""
+        raise NotImplementedError
+
+    @property
+    def filter_id(self) -> str:
+        """Stable identifier; equal filters share an id."""
+        return repr(self)
+
+    @property
+    def topics(self) -> Tuple[str, ...]:
+        """Topics this filter pins down exactly, if any (for routing)."""
+        return ()
+
+    def __call__(self, event: Event) -> bool:
+        return self.matches(event)
+
+
+@dataclass(frozen=True)
+class TopicFilter(Filter):
+    """Filter with a single attribute (the topic) and no conditions."""
+
+    topic: str
+
+    def matches(self, event: Event) -> bool:
+        return event.attribute(TOPIC_ATTRIBUTE) == self.topic
+
+    @property
+    def filter_id(self) -> str:
+        return f"topic:{self.topic}"
+
+    @property
+    def topics(self) -> Tuple[str, ...]:
+        return (self.topic,)
+
+
+#: Comparison operators allowed in attribute conditions.
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda left, right: left == right,
+    "!=": lambda left, right: left != right,
+    "<": lambda left, right: left < right,
+    "<=": lambda left, right: left <= right,
+    ">": lambda left, right: left > right,
+    ">=": lambda left, right: left >= right,
+    "in": lambda left, right: left in right,
+    "contains": lambda left, right: right in left,
+    "prefix": lambda left, right: str(left).startswith(str(right)),
+}
+
+
+@dataclass(frozen=True)
+class AttributeCondition:
+    """A single ``attribute <operator> value`` predicate.
+
+    An event must *provide* the attribute for the condition to hold, matching
+    the paper's definition ("provides all attributes specified by the filter
+    and satisfies the corresponding conditions").
+    """
+
+    attribute: str
+    operator: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise ValueError(
+                f"unsupported operator {self.operator!r}; expected one of {sorted(_OPERATORS)}"
+            )
+
+    def holds_for(self, event: Event) -> bool:
+        """Evaluate the condition against an event."""
+        if self.attribute not in event.attributes:
+            return False
+        actual = event.attributes[self.attribute]
+        try:
+            return _OPERATORS[self.operator](actual, self.value)
+        except TypeError:
+            # Incomparable types (e.g. string vs number) simply do not match.
+            return False
+
+    def describe(self) -> str:
+        """Human-readable form used in filter ids and reports."""
+        return f"{self.attribute}{self.operator}{self.value!r}"
+
+
+@dataclass(frozen=True)
+class ContentFilter(Filter):
+    """Conjunction of attribute conditions (the paper's expressive filter)."""
+
+    conditions: Tuple[AttributeCondition, ...] = ()
+    name: str = ""
+
+    @staticmethod
+    def build(name: str = "", **equalities: Any) -> "ContentFilter":
+        """Shorthand for an equality-only content filter."""
+        conditions = tuple(
+            AttributeCondition(attribute, "==", value) for attribute, value in sorted(equalities.items())
+        )
+        return ContentFilter(conditions=conditions, name=name)
+
+    def matches(self, event: Event) -> bool:
+        return all(condition.holds_for(event) for condition in self.conditions)
+
+    @property
+    def filter_id(self) -> str:
+        body = "&".join(condition.describe() for condition in self.conditions)
+        return f"content:{self.name}:{body}" if self.name else f"content:{body}"
+
+    @property
+    def topics(self) -> Tuple[str, ...]:
+        pinned = tuple(
+            str(condition.value)
+            for condition in self.conditions
+            if condition.attribute == TOPIC_ATTRIBUTE and condition.operator == "=="
+        )
+        return pinned
+
+
+@dataclass(frozen=True)
+class AndFilter(Filter):
+    """Matches when every child filter matches."""
+
+    children: Tuple[Filter, ...]
+
+    def matches(self, event: Event) -> bool:
+        return all(child.matches(event) for child in self.children)
+
+    @property
+    def filter_id(self) -> str:
+        return "and(" + ",".join(child.filter_id for child in self.children) + ")"
+
+    @property
+    def topics(self) -> Tuple[str, ...]:
+        pinned: List[str] = []
+        for child in self.children:
+            pinned.extend(child.topics)
+        return tuple(pinned)
+
+
+@dataclass(frozen=True)
+class OrFilter(Filter):
+    """Matches when at least one child filter matches."""
+
+    children: Tuple[Filter, ...]
+
+    def matches(self, event: Event) -> bool:
+        return any(child.matches(event) for child in self.children)
+
+    @property
+    def filter_id(self) -> str:
+        return "or(" + ",".join(child.filter_id for child in self.children) + ")"
+
+    @property
+    def topics(self) -> Tuple[str, ...]:
+        # An OR only pins topics down when *every* branch pins one.
+        branch_topics = [child.topics for child in self.children]
+        if all(branch_topics):
+            flattened: List[str] = []
+            for topics in branch_topics:
+                flattened.extend(topics)
+            return tuple(flattened)
+        return ()
+
+
+@dataclass(frozen=True)
+class NotFilter(Filter):
+    """Matches when the child filter does not."""
+
+    child: Filter
+
+    def matches(self, event: Event) -> bool:
+        return not self.child.matches(event)
+
+    @property
+    def filter_id(self) -> str:
+        return f"not({self.child.filter_id})"
+
+
+@dataclass(frozen=True)
+class MatchAllFilter(Filter):
+    """Matches every event — models a process interested in everything."""
+
+    def matches(self, event: Event) -> bool:
+        return True
+
+    @property
+    def filter_id(self) -> str:
+        return "all"
+
+
+@dataclass(frozen=True)
+class MatchNoneFilter(Filter):
+    """Matches nothing — a pure forwarder with no interest of its own."""
+
+    def matches(self, event: Event) -> bool:
+        return False
+
+    @property
+    def filter_id(self) -> str:
+        return "none"
+
+
+class InterestFunction:
+    """A process's complete interest: the union of its active filters.
+
+    This is the paper's ``I(p, e)`` / ``ISINTERESTED(e)``: an event is
+    interesting if at least one active filter matches it.  The object tracks
+    filter additions and removals so the fairness accounting can charge per
+    placed filter (§5, fairness aspect 2).
+    """
+
+    def __init__(self, filters: Optional[Iterable[Filter]] = None) -> None:
+        self._filters: Dict[str, Filter] = {}
+        for subscription_filter in filters or ():
+            self.add(subscription_filter)
+
+    def add(self, subscription_filter: Filter) -> bool:
+        """Add a filter; returns ``False`` if an equal filter was present."""
+        key = subscription_filter.filter_id
+        if key in self._filters:
+            return False
+        self._filters[key] = subscription_filter
+        return True
+
+    def remove(self, subscription_filter: Filter) -> bool:
+        """Remove a filter; returns ``False`` if it was not present."""
+        return self._filters.pop(subscription_filter.filter_id, None) is not None
+
+    def clear(self) -> None:
+        """Drop every filter (full unsubscribe)."""
+        self._filters.clear()
+
+    def is_interested(self, event: Event) -> bool:
+        """The paper's ``ISINTERESTED(e)``."""
+        return any(subscription_filter.matches(event) for subscription_filter in self._filters.values())
+
+    def matching_filters(self, event: Event) -> List[Filter]:
+        """All active filters matched by the event."""
+        return [
+            subscription_filter
+            for subscription_filter in self._filters.values()
+            if subscription_filter.matches(event)
+        ]
+
+    @property
+    def filters(self) -> List[Filter]:
+        """Snapshot of the active filters."""
+        return list(self._filters.values())
+
+    @property
+    def filter_count(self) -> int:
+        """Number of active filters (the ``# filters`` term of Figure 2)."""
+        return len(self._filters)
+
+    @property
+    def topics(self) -> List[str]:
+        """Topics pinned by the active filters (duplicates removed, sorted)."""
+        names = set()
+        for subscription_filter in self._filters.values():
+            names.update(subscription_filter.topics)
+        return sorted(names)
+
+    def __contains__(self, subscription_filter: Filter) -> bool:
+        return subscription_filter.filter_id in self._filters
+
+    def __len__(self) -> int:
+        return len(self._filters)

@@ -1,0 +1,149 @@
+"""The selective information dissemination API of Section 2.
+
+Every dissemination system in this repository — classic push gossip, the
+fair gossip protocols, Scribe-style trees, brokers, data-aware multicast —
+implements the same three operations the paper defines:
+
+* ``publish(e)``
+* ``subscribe(f, callbacks)``
+* ``unsubscribe(f)``
+
+:class:`DisseminationSystem` is the abstract interface;
+:class:`DeliveryLog` is the shared helper that records deliveries on behalf
+of a node (it backs both the user-facing callbacks and the analysis layer),
+and :class:`SystemFacade` offers the convenience entry point used by the
+examples: build a system, subscribe nodes, publish, run, report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import Event
+from .filters import Filter
+
+__all__ = ["DeliveryCallback", "DeliveryLog", "DeliveryRecord", "DisseminationSystem"]
+
+#: Signature of a subscriber callback: ``callback(node_id, event)``.
+DeliveryCallback = Callable[[str, Event], None]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivery of an event at a node."""
+
+    node_id: str
+    event_id: str
+    delivered_at: float
+    published_at: float
+
+    @property
+    def latency(self) -> float:
+        """Delivery latency in simulated time units."""
+        return self.delivered_at - self.published_at
+
+
+class DeliveryLog:
+    """Records every delivery performed by a dissemination system.
+
+    The log answers both per-node questions (how many events did ``p``
+    deliver — the *benefit* term of Figures 1–3) and per-event questions
+    (which interested nodes delivered ``e`` — the reliability measure of the
+    Figure 4 experiments).
+    """
+
+    def __init__(self) -> None:
+        self._by_node: Dict[str, List[DeliveryRecord]] = {}
+        self._by_event: Dict[str, List[DeliveryRecord]] = {}
+        self._seen: set = set()
+
+    def record(self, node_id: str, event: Event, delivered_at: float) -> Optional[DeliveryRecord]:
+        """Record a delivery; duplicate (node, event) pairs are ignored."""
+        key = (node_id, event.event_id)
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        record = DeliveryRecord(
+            node_id=node_id,
+            event_id=event.event_id,
+            delivered_at=delivered_at,
+            published_at=event.published_at,
+        )
+        self._by_node.setdefault(node_id, []).append(record)
+        self._by_event.setdefault(event.event_id, []).append(record)
+        return record
+
+    def delivered(self, node_id: str, event_id: str) -> bool:
+        """Whether the node has delivered the event."""
+        return (node_id, event_id) in self._seen
+
+    def deliveries_by_node(self, node_id: str) -> List[DeliveryRecord]:
+        """All deliveries performed by a node."""
+        return list(self._by_node.get(node_id, ()))
+
+    def deliveries_of_event(self, event_id: str) -> List[DeliveryRecord]:
+        """All deliveries of one event across the system."""
+        return list(self._by_event.get(event_id, ()))
+
+    def delivery_count(self, node_id: str) -> int:
+        """Number of events delivered by a node (the benefit numerator)."""
+        return len(self._by_node.get(node_id, ()))
+
+    def nodes(self) -> List[str]:
+        """Nodes that delivered at least one event (sorted)."""
+        return sorted(self._by_node)
+
+    def event_ids(self) -> List[str]:
+        """Ids of events delivered at least once (sorted)."""
+        return sorted(self._by_event)
+
+    def total_deliveries(self) -> int:
+        """Total number of (node, event) deliveries."""
+        return len(self._seen)
+
+    def latencies(self) -> List[float]:
+        """Latency of every delivery, in no particular order."""
+        return [
+            record.delivered_at - record.published_at
+            for records in self._by_event.values()
+            for record in records
+        ]
+
+
+class DisseminationSystem:
+    """Abstract selective information dissemination system (§2).
+
+    Concrete systems wire themselves to a simulator, a network, and a set of
+    processes; this interface only fixes the three operations and the access
+    to the shared :class:`DeliveryLog` the analysis layer depends on.
+    """
+
+    #: Short machine-readable name used in reports and benchmark tables.
+    name: str = "abstract"
+
+    def publish(self, publisher_id: str, event: Event) -> Event:
+        """Publish ``event`` from ``publisher_id``; returns the stamped event."""
+        raise NotImplementedError
+
+    def subscribe(
+        self,
+        node_id: str,
+        subscription_filter: Filter,
+        callbacks: Sequence[DeliveryCallback] = (),
+    ) -> None:
+        """Register interest of ``node_id`` in events matching the filter."""
+        raise NotImplementedError
+
+    def unsubscribe(self, node_id: str, subscription_filter: Filter) -> None:
+        """Withdraw a previously registered interest."""
+        raise NotImplementedError
+
+    @property
+    def delivery_log(self) -> DeliveryLog:
+        """The log of all deliveries performed so far."""
+        raise NotImplementedError
+
+    def node_ids(self) -> List[str]:
+        """Identifiers of all participants of the system."""
+        raise NotImplementedError

@@ -1,0 +1,71 @@
+"""Discrete-event simulation substrate.
+
+This package is the testbed substitute: a deterministic, seeded
+discrete-event simulator with a virtual clock, a message-passing network
+model (latency, loss, partitions), a process abstraction with periodic
+timers, failure/churn injection, trace recording, and metric collection.
+
+Typical wiring::
+
+    from repro.sim import Simulator, Network, ProcessRegistry
+
+    sim = Simulator(seed=42)
+    net = Network(sim)
+    registry = ProcessRegistry()
+    # ... create Process subclasses, start them, then:
+    sim.run(until=100.0)
+"""
+
+from .clock import VirtualClock
+from .engine import PeriodicTimer, ScheduledEvent, SimulationError, Simulator
+from .failure import ChurnInjector, CrashSchedule, PartitionInjector
+from .metrics import Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry
+from .network import (
+    BernoulliLoss,
+    ConstantLatency,
+    LogNormalLatency,
+    LossModel,
+    LatencyModel,
+    Message,
+    Network,
+    NetworkStats,
+    NoLoss,
+    UniformLatency,
+)
+from .node import Process, ProcessRegistry
+from .rng import RngRegistry, derive_seed, weighted_choice, zipf_weights
+from .trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "VirtualClock",
+    "Simulator",
+    "ScheduledEvent",
+    "PeriodicTimer",
+    "SimulationError",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "Process",
+    "ProcessRegistry",
+    "ChurnInjector",
+    "CrashSchedule",
+    "PartitionInjector",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "RngRegistry",
+    "derive_seed",
+    "zipf_weights",
+    "weighted_choice",
+    "TraceRecord",
+    "TraceRecorder",
+]

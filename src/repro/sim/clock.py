@@ -1,0 +1,49 @@
+"""Virtual clock for the discrete-event simulator.
+
+The clock only ever moves forward, and only the scheduler advances it.  Time
+is a float measured in abstract "time units"; gossip protocols typically use
+one unit per gossip round, while the network model uses fractions of a unit
+for per-link latency.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonically increasing simulated time."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises
+        ------
+        ValueError
+            If ``timestamp`` is earlier than the current time; the simulator
+            never travels backwards.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, requested={timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock, typically between independent simulation runs."""
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now!r})"

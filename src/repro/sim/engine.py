@@ -1,0 +1,277 @@
+"""The discrete-event simulation engine.
+
+The engine owns a priority queue of timestamped callbacks and a
+:class:`~repro.sim.clock.VirtualClock`.  Protocol code never sleeps or spins:
+it schedules future work (a timer tick, a message arrival) and returns.  The
+engine pops events in timestamp order, advances the clock, and invokes the
+callbacks.  Ties are broken by insertion order so runs are fully
+deterministic for a given seed.
+
+The engine is deliberately minimal: everything network- or process-related
+lives in :mod:`repro.sim.network` and :mod:`repro.sim.node`, which are built
+on top of :meth:`Simulator.schedule`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .clock import VirtualClock
+from .rng import RngRegistry
+
+__all__ = ["Simulator", "ScheduledEvent", "PeriodicTimer", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven in an inconsistent way."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    timestamp: float
+    sequence: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+@dataclass
+class ScheduledEvent:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulated time at which the callback fires.
+    action:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Human-readable tag used in traces and error messages.
+    cancelled:
+        Set via :meth:`cancel`; cancelled events are skipped when popped.
+    """
+
+    timestamp: float
+    action: Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the attached :class:`RngRegistry`.
+    start_time:
+        Initial value of the virtual clock.
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self.rng = RngRegistry(seed)
+        self._queue: List[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, action, label)
+
+    def schedule_at(
+        self, timestamp: float, action: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``action`` to run at absolute time ``timestamp``."""
+        if timestamp < self.now:
+            raise SimulationError(
+                f"cannot schedule at {timestamp}, current time is {self.now}"
+            )
+        event = ScheduledEvent(timestamp=timestamp, action=action, label=label)
+        entry = _QueueEntry(timestamp=timestamp, sequence=next(self._sequence), event=event)
+        heapq.heappush(self._queue, entry)
+        return event
+
+    def schedule_periodic(
+        self,
+        period: float,
+        action: Callable[[], None],
+        label: str = "",
+        initial_delay: Optional[float] = None,
+        jitter: float = 0.0,
+    ) -> "PeriodicTimer":
+        """Schedule ``action`` every ``period`` units until the timer is stopped.
+
+        ``jitter`` adds a uniform random offset in ``[0, jitter)`` to each
+        firing, drawn from the ``"periodic-timers"`` stream; gossip protocols
+        use it to avoid artificial round synchronisation across nodes.
+        """
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        timer = PeriodicTimer(self, period, action, label=label, jitter=jitter)
+        timer.start(initial_delay if initial_delay is not None else period)
+        return timer
+
+    # --------------------------------------------------------------- running
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue was
+        empty (or contained only cancelled events).
+        """
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.event.cancelled:
+                continue
+            self.clock.advance_to(entry.timestamp)
+            self._running = True
+            try:
+                entry.event.action()
+            finally:
+                self._running = False
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this time.  The clock is
+            left at ``until`` (if given) so post-run measurements see the full
+            window.  ``None`` runs until the queue drains.
+        max_events:
+            Safety valve against runaway schedules; ``None`` means unlimited.
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            next_entry = self._peek()
+            if next_entry is None:
+                break
+            if until is not None and next_entry.timestamp > until:
+                break
+            if self.step():
+                executed += 1
+        if until is not None and until > self.now:
+            self.clock.advance_to(until)
+        return executed
+
+    def _peek(self) -> Optional[_QueueEntry]:
+        while self._queue:
+            entry = self._queue[0]
+            if entry.event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return entry
+        return None
+
+
+class PeriodicTimer:
+    """Repeating timer driven by a :class:`Simulator`.
+
+    The timer reschedules itself after each firing; calling :meth:`stop`
+    cancels the pending occurrence and stops the cycle.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        period: float,
+        action: Callable[[], None],
+        label: str = "",
+        jitter: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        if jitter < 0:
+            raise SimulationError("jitter must be non-negative")
+        self._simulator = simulator
+        self._period = period
+        self._action = action
+        self._label = label or "periodic"
+        self._jitter = jitter
+        self._pending: Optional[ScheduledEvent] = None
+        self._stopped = True
+        self.fire_count = 0
+
+    @property
+    def period(self) -> float:
+        """Current period between firings."""
+        return self._period
+
+    @period.setter
+    def period(self, value: float) -> None:
+        if value <= 0:
+            raise SimulationError("period must be positive")
+        self._period = value
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer will keep firing."""
+        return not self._stopped
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Arm the timer; the first firing happens after ``initial_delay``."""
+        self._stopped = False
+        delay = self._period if initial_delay is None else initial_delay
+        self._schedule(delay)
+
+    def stop(self) -> None:
+        """Cancel any pending firing and stop rescheduling."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _schedule(self, delay: float) -> None:
+        offset = 0.0
+        if self._jitter:
+            offset = self._simulator.rng.stream("periodic-timers").uniform(0.0, self._jitter)
+        self._pending = self._simulator.schedule(delay + offset, self._fire, label=self._label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fire_count += 1
+        self._action()
+        if not self._stopped:
+            self._schedule(self._period)

@@ -1,0 +1,307 @@
+"""Message-passing network model.
+
+The network sits between processes and the event engine.  Sending a message
+costs the sender one "send" (counted towards its contribution by the
+accounting layer), takes a latency drawn from the configured latency model,
+and may be lost according to the loss model.  Partitions can be installed to
+cut connectivity between groups of nodes, which is how the failure injector
+models transient network splits.
+
+The model is intentionally simple — per-message independent latency and
+loss — because the paper's claims are about message *counts* and *delivery*,
+not about queueing effects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
+
+from .engine import Simulator
+
+__all__ = [
+    "Message",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "Network",
+    "NetworkStats",
+]
+
+
+@dataclass
+class Message:
+    """A message in flight between two processes.
+
+    Attributes
+    ----------
+    sender / recipient:
+        Node identifiers.
+    kind:
+        Protocol-level message type (``"gossip"``, ``"subscribe"``,
+        ``"shuffle"`` ...), used by traces and by per-kind statistics.
+    payload:
+        Arbitrary protocol data; the network never inspects it.
+    size:
+        Abstract message size (for example the number of events carried in a
+        gossip message); used by the fairness accounting to weight
+        contribution by payload, per Figure 3 of the paper.
+    sent_at:
+        Simulated time at which the message was handed to the network.
+    """
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any = None
+    size: int = 1
+    sent_at: float = 0.0
+
+
+class LatencyModel:
+    """Base class for per-message latency models."""
+
+    def sample(self, rng: random.Random, sender: str, recipient: str) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``latency`` time units."""
+
+    def __init__(self, latency: float = 0.1) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency = latency
+
+    def sample(self, rng: random.Random, sender: str, recipient: str) -> float:
+        return self.latency
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.05, high: float = 0.15) -> None:
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random, sender: str, recipient: str) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed latency, a common fit for wide-area round-trip times."""
+
+    def __init__(self, median: float = 0.1, sigma: float = 0.5, cap: float = 5.0) -> None:
+        if median <= 0 or sigma < 0 or cap <= 0:
+            raise ValueError("median and cap must be positive, sigma non-negative")
+        import math
+
+        self._mu = math.log(median)
+        self.sigma = sigma
+        self.cap = cap
+
+    def sample(self, rng: random.Random, sender: str, recipient: str) -> float:
+        return min(rng.lognormvariate(self._mu, self.sigma), self.cap)
+
+
+class LossModel:
+    """Base class for message-loss models."""
+
+    def is_lost(self, rng: random.Random, message: Message) -> bool:
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """Reliable network: no message is ever dropped."""
+
+    def is_lost(self, rng: random.Random, message: Message) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Each message is independently lost with probability ``rate``."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must be within [0, 1]")
+        self.rate = rate
+
+    def is_lost(self, rng: random.Random, message: Message) -> bool:
+        if self.rate == 0.0:
+            return False
+        return rng.random() < self.rate
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters maintained by the network."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    dropped_dead: int = 0
+    dropped_partition: int = 0
+    bytes_sent: int = 0
+    sent_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record_sent(self, message: Message) -> None:
+        self.sent += 1
+        self.bytes_sent += max(message.size, 0)
+        self.sent_by_kind[message.kind] = self.sent_by_kind.get(message.kind, 0) + 1
+
+
+class Network:
+    """Connects registered processes through the simulator's event queue.
+
+    Parameters
+    ----------
+    simulator:
+        The discrete-event engine that drives deliveries.
+    latency_model / loss_model:
+        Pluggable models; default to a small constant latency and no loss.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency_model: Optional[LatencyModel] = None,
+        loss_model: Optional[LossModel] = None,
+    ) -> None:
+        self._simulator = simulator
+        self._latency = latency_model or ConstantLatency(0.1)
+        self._loss = loss_model or NoLoss()
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._alive: Set[str] = set()
+        self._partitions: Dict[str, int] = {}
+        self.stats = NetworkStats()
+        self._delivery_hooks: list[Callable[[Message, float], None]] = []
+
+    # --------------------------------------------------------------- wiring
+
+    @property
+    def simulator(self) -> Simulator:
+        """The engine this network schedules deliveries on."""
+        return self._simulator
+
+    def register(self, node_id: str, handler: Callable[[Message], None]) -> None:
+        """Attach a process; it becomes reachable and alive."""
+        self._handlers[node_id] = handler
+        self._alive.add(node_id)
+
+    def unregister(self, node_id: str) -> None:
+        """Detach a process completely (used when a node leaves for good)."""
+        self._handlers.pop(node_id, None)
+        self._alive.discard(node_id)
+        self._partitions.pop(node_id, None)
+
+    def set_alive(self, node_id: str, alive: bool) -> None:
+        """Mark a registered process up or down without unregistering it."""
+        if node_id not in self._handlers:
+            raise KeyError(f"unknown node {node_id!r}")
+        if alive:
+            self._alive.add(node_id)
+        else:
+            self._alive.discard(node_id)
+
+    def is_alive(self, node_id: str) -> bool:
+        """Whether the node is currently able to receive messages."""
+        return node_id in self._alive
+
+    def known_nodes(self) -> Set[str]:
+        """All registered node identifiers (alive or not)."""
+        return set(self._handlers)
+
+    def alive_nodes(self) -> Set[str]:
+        """Identifiers of nodes currently alive."""
+        return set(self._alive)
+
+    def add_delivery_hook(self, hook: Callable[[Message, float], None]) -> None:
+        """Register a callback invoked as ``hook(message, delivered_at)``."""
+        self._delivery_hooks.append(hook)
+
+    # ----------------------------------------------------------- partitions
+
+    def set_partition(self, assignment: Dict[str, int]) -> None:
+        """Install a partition map; nodes in different groups cannot talk.
+
+        Nodes absent from the map are treated as belonging to group 0.
+        """
+        self._partitions = dict(assignment)
+
+    def clear_partition(self) -> None:
+        """Heal all partitions."""
+        self._partitions = {}
+
+    def _same_partition(self, a: str, b: str) -> bool:
+        if not self._partitions:
+            return True
+        return self._partitions.get(a, 0) == self._partitions.get(b, 0)
+
+    # --------------------------------------------------------------- sending
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any = None,
+        size: int = 1,
+    ) -> Message:
+        """Send a message; delivery (if any) is scheduled on the engine.
+
+        The message object is returned so callers (for example the trace
+        recorder) can correlate sends with deliveries.
+        """
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            size=size,
+            sent_at=self._simulator.now,
+        )
+        self.stats.record_sent(message)
+
+        rng = self._simulator.rng.stream("network")
+        if recipient not in self._handlers:
+            self.stats.dropped_dead += 1
+            return message
+        if not self._same_partition(sender, recipient):
+            self.stats.dropped_partition += 1
+            return message
+        if self._loss.is_lost(rng, message):
+            self.stats.lost += 1
+            return message
+
+        latency = self._latency.sample(rng, sender, recipient)
+        self._simulator.schedule(
+            latency, lambda: self._deliver(message), label=f"deliver:{kind}"
+        )
+        return message
+
+    def broadcast(
+        self, sender: str, recipients: Iterable[str], kind: str, payload: Any = None, size: int = 1
+    ) -> Tuple[Message, ...]:
+        """Send the same payload to several recipients (one message each)."""
+        return tuple(
+            self.send(sender, recipient, kind, payload=payload, size=size)
+            for recipient in recipients
+        )
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.recipient)
+        if handler is None or message.recipient not in self._alive:
+            self.stats.dropped_dead += 1
+            return
+        self.stats.delivered += 1
+        now = self._simulator.now
+        for hook in self._delivery_hooks:
+            hook(message, now)
+        handler(message)

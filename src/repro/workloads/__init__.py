@@ -1,0 +1,30 @@
+"""Workload generators: topic popularity, interest assignment, publications, churn."""
+
+from .churn import ChurnStats, SubscriptionChurnWorkload
+from .interest import (
+    AttributeInterest,
+    CommunityInterest,
+    InterestAssignment,
+    UniformInterest,
+    ZipfInterest,
+)
+from .popularity import TopicPopularity
+from .publications import (
+    ContentPublicationWorkload,
+    PublicationSchedule,
+    TopicPublicationWorkload,
+)
+
+__all__ = [
+    "TopicPopularity",
+    "InterestAssignment",
+    "UniformInterest",
+    "ZipfInterest",
+    "CommunityInterest",
+    "AttributeInterest",
+    "PublicationSchedule",
+    "TopicPublicationWorkload",
+    "ContentPublicationWorkload",
+    "SubscriptionChurnWorkload",
+    "ChurnStats",
+]

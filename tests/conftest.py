@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment shim
+    sys.path.insert(0, _SRC)
+
+from repro.core import WorkLedger
+from repro.pubsub import DeliveryLog
+from repro.sim import Network, Simulator
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(simulator: Simulator) -> Network:
+    """A loss-free network attached to the simulator fixture."""
+    return Network(simulator)
+
+
+@pytest.fixture
+def ledger() -> WorkLedger:
+    """An empty accounting ledger."""
+    return WorkLedger()
+
+
+@pytest.fixture
+def delivery_log() -> DeliveryLog:
+    """An empty delivery log."""
+    return DeliveryLog()
+
+
+def build_gossip_system(
+    nodes: int = 24,
+    seed: int = 1,
+    fair: bool = False,
+    fanout: int = 3,
+    gossip_size: int = 8,
+    round_period: float = 1.0,
+    membership: str = "cyclon",
+    loss_rate: float = 0.0,
+):
+    """Helper used by protocol and integration tests to build small systems."""
+    from repro.core import FairGossipSystem
+    from repro.gossip import GossipSystem
+    from repro.membership import cyclon_provider, full_membership_provider, lpbcast_provider
+    from repro.sim import BernoulliLoss, NoLoss
+
+    simulator = Simulator(seed=seed)
+    net = Network(simulator, loss_model=BernoulliLoss(loss_rate) if loss_rate else NoLoss())
+    node_ids = [f"node-{index}" for index in range(nodes)]
+    if membership == "full":
+        provider = full_membership_provider(net)
+    elif membership == "lpbcast":
+        provider = lpbcast_provider()
+    else:
+        provider = cyclon_provider()
+    kwargs = {"fanout": fanout, "gossip_size": gossip_size, "round_period": round_period}
+    cls = FairGossipSystem if fair else GossipSystem
+    return cls(simulator, net, node_ids, membership_provider=provider, node_kwargs=kwargs)

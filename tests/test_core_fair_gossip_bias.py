@@ -1,0 +1,271 @@
+"""Tests for the fair gossip protocol and the bias/selfishness machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import build_gossip_system
+from repro.core import (
+    BiasDetector,
+    EXPRESSIVE_POLICY,
+    FairGossipNode,
+    FairGossipSystem,
+    ForwardAudit,
+    SelfishGossipNode,
+    evaluate_fairness,
+)
+from repro.gossip import GossipSystem
+from repro.membership import full_membership_provider
+from repro.pubsub import TopicFilter
+from repro.sim import Network, Simulator
+
+
+def skewed_workload(system, publishers=4, events=40, spacing=0.5):
+    """Half the nodes subscribe, the other half have no interest."""
+    ids = system.node_ids()
+    for index, node_id in enumerate(ids):
+        if index % 2 == 0:
+            system.subscribe(node_id, TopicFilter("news"))
+    for index in range(events):
+        system.publish(ids[index % publishers], topic="news")
+        system.simulator.run(until=system.simulator.now + spacing)
+    system.run(until=system.simulator.now + 15.0)
+
+
+class TestFairGossipProtocol:
+    def test_reliability_preserved(self):
+        system = build_gossip_system(nodes=30, seed=31, fair=True)
+        skewed_workload(system)
+        interested = len([n for i, n in enumerate(system.node_ids()) if i % 2 == 0])
+        assert system.delivery_log.total_deliveries() == interested * 40
+
+    def test_fairness_better_than_classic(self):
+        fair = build_gossip_system(nodes=30, seed=32, fair=True)
+        skewed_workload(fair)
+        classic = build_gossip_system(nodes=30, seed=32, fair=False)
+        skewed_workload(classic)
+
+        def report(system):
+            return evaluate_fairness(
+                EXPRESSIVE_POLICY.contributions(system.ledger),
+                EXPRESSIVE_POLICY.benefits(system.ledger),
+            )
+
+        fair_report = report(fair)
+        classic_report = report(classic)
+        assert fair_report.wasted_share < classic_report.wasted_share
+        assert fair_report.ratio_jain > classic_report.ratio_jain
+
+    def test_subscribers_send_more_than_non_subscribers(self):
+        system = build_gossip_system(nodes=30, seed=33, fair=True)
+        skewed_workload(system)
+        subscriber_work = [
+            system.ledger.account(node_id).gossip_messages_sent
+            for index, node_id in enumerate(system.node_ids())
+            if index % 2 == 0
+        ]
+        idle_work = [
+            system.ledger.account(node_id).gossip_messages_sent
+            for index, node_id in enumerate(system.node_ids())
+            if index % 2 == 1
+        ]
+        assert sum(subscriber_work) / len(subscriber_work) > 1.5 * (
+            sum(idle_work) / len(idle_work)
+        )
+
+    def test_controllers_adapt_fanout_per_node(self):
+        system = build_gossip_system(nodes=20, seed=34, fair=True)
+        skewed_workload(system, events=30)
+
+        # Once traffic stops, everyone falls back towards the floor, so the
+        # adaptation is visible in the controllers' history (the fanout used
+        # while events were flowing), not in the final value.
+        def mean_history(node_id):
+            history = system.node(node_id).fanout_controller.history
+            return sum(history) / len(history)
+
+        subscriber_mean = [
+            mean_history(node_id)
+            for index, node_id in enumerate(system.node_ids())
+            if index % 2 == 0
+        ]
+        idle_mean = [
+            mean_history(node_id)
+            for index, node_id in enumerate(system.node_ids())
+            if index % 2 == 1
+        ]
+        assert sum(subscriber_mean) / len(subscriber_mean) > sum(idle_mean) / len(idle_mean)
+        idle_current = [
+            system.node(node_id).current_fanout()
+            for index, node_id in enumerate(system.node_ids())
+            if index % 2 == 1
+        ]
+        assert min(idle_current) >= 1  # the connectivity floor
+
+    def test_ablation_switches_freeze_levers(self):
+        system = build_gossip_system(nodes=10, seed=35)
+        simulator = Simulator(seed=35)
+        network = Network(simulator)
+        frozen = FairGossipSystem(
+            simulator,
+            network,
+            [f"node-{index}" for index in range(10)],
+            node_kwargs={
+                "fanout": 3,
+                "gossip_size": 8,
+                "adapt_fanout": False,
+                "adapt_payload": False,
+            },
+        )
+        for node_id in frozen.node_ids():
+            frozen.subscribe(node_id, TopicFilter("news"))
+        frozen.publish("node-0", topic="news")
+        frozen.run(until=10.0)
+        node = frozen.node("node-0")
+        assert node.current_fanout() == 3
+        assert node.current_gossip_size() == 8
+        assert node.estimator.own_observations > 0  # estimator still warm
+
+    def test_benefit_rate_piggybacked(self):
+        system = build_gossip_system(nodes=15, seed=36, fair=True)
+        skewed_workload(system, events=20)
+        rates = [system.node(node_id).estimator.peer_observations for node_id in system.node_ids()]
+        assert sum(rates) > 0
+
+
+class TestForwardAuditAndDetector:
+    def test_useful_ratio_computation(self):
+        audit = ForwardAudit()
+        audit.observe("s", new_events=4, total_events=4)
+        audit.observe("s", new_events=0, total_events=4)
+        assert audit.useful_ratio("s") == pytest.approx(0.5)
+        assert audit.useful_ratio("unknown") == 1.0
+        assert audit.message_count("s") == 2
+
+    def test_zero_total_ignored(self):
+        audit = ForwardAudit()
+        audit.observe("s", new_events=0, total_events=0)
+        assert audit.senders() == []
+
+    def test_recipient_concentration(self):
+        audit = ForwardAudit()
+        for _ in range(20):
+            audit.observe("biased", 1, 1, receiver="friend")
+        audit.observe("biased", 1, 1, receiver="other")
+        spread = ForwardAudit()
+        for index in range(21):
+            spread.observe("fairer", 1, 1, receiver=f"r{index}")
+        assert audit.recipient_concentration("biased") > spread.recipient_concentration("fairer")
+        assert ForwardAudit().recipient_concentration("nobody") == 0.0
+
+    def test_detector_flags_stale_forwarder(self):
+        audit = ForwardAudit()
+        for sender in ("honest-1", "honest-2", "honest-3"):
+            for _ in range(20):
+                audit.observe(sender, 3, 4)
+        for _ in range(20):
+            audit.observe("lazy", 0, 4)
+        report = BiasDetector(min_messages=10).analyse(audit)
+        assert "lazy" in report.flagged_nodes()
+        assert "honest-1" not in report.flagged_nodes()
+        assert "stale-event bias" in report.findings["lazy"].reasons
+
+    def test_detector_requires_enough_evidence(self):
+        audit = ForwardAudit()
+        audit.observe("new", 0, 4)
+        report = BiasDetector(min_messages=10).analyse(audit)
+        assert report.flagged_nodes() == []
+
+    def test_precision_recall(self):
+        audit = ForwardAudit()
+        for _ in range(20):
+            audit.observe("bad", 0, 4)
+            audit.observe("good", 4, 4)
+        report = BiasDetector(min_messages=5).analyse(audit)
+        precision, recall = report.precision_recall(["bad"])
+        assert precision == 1.0 and recall == 1.0
+        precision_none, recall_none = report.precision_recall([])
+        assert recall_none == 1.0
+
+    def test_detector_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BiasDetector(useful_ratio_threshold=0.0)
+        with pytest.raises(ValueError):
+            BiasDetector(concentration_threshold=2.0)
+
+
+class TestSelfishNode:
+    def build_mixed_system(self, seed=40, nodes=30, selfish=4):
+        simulator = Simulator(seed=seed)
+        network = Network(simulator)
+        ids = [f"node-{index}" for index in range(nodes)]
+        system = GossipSystem(
+            simulator,
+            network,
+            ids,
+            node_kwargs={"fanout": 3, "gossip_size": 6, "round_period": 1.0},
+        )
+        audit = ForwardAudit()
+        # Replace the first `selfish` nodes by attacker processes that report
+        # into the same ledger/delivery log; colluders are the other attackers.
+        selfish_ids = ids[:selfish]
+        for node_id in selfish_ids:
+            old = system.nodes[node_id]
+            old.leave()
+            system.registry.remove(node_id)
+            attacker = SelfishGossipNode(
+                node_id,
+                simulator,
+                network,
+                membership_provider=full_membership_provider(network),
+                ledger=system.ledger,
+                delivery_log=system.delivery_log,
+                fanout=3,
+                gossip_size=6,
+                colluders=[other for other in selfish_ids if other != node_id],
+            )
+            attacker.start()
+            system.nodes[node_id] = attacker
+            system.registry.add(attacker)
+        for node_id, node in system.nodes.items():
+            node.forward_audit = audit
+        return system, audit, selfish_ids
+
+    def test_selfish_nodes_keep_contribution_but_are_useless(self):
+        system, audit, selfish_ids = self.build_mixed_system()
+        for node_id in system.node_ids():
+            system.subscribe(node_id, TopicFilter("news"))
+        for index in range(30):
+            system.publish(f"node-{10 + index % 10}", topic="news")
+            system.simulator.run(until=system.simulator.now + 0.5)
+        system.run(until=system.simulator.now + 10)
+        honest_ids = [node_id for node_id in system.node_ids() if node_id not in selfish_ids]
+        selfish_ratio = sum(audit.useful_ratio(node_id) for node_id in selfish_ids) / len(selfish_ids)
+        honest_ratio = sum(audit.useful_ratio(node_id) for node_id in honest_ids) / len(honest_ids)
+        assert selfish_ratio < honest_ratio
+
+    def test_detector_catches_most_selfish_nodes(self):
+        system, audit, selfish_ids = self.build_mixed_system(seed=41)
+        for node_id in system.node_ids():
+            system.subscribe(node_id, TopicFilter("news"))
+        for index in range(40):
+            system.publish(f"node-{10 + index % 10}", topic="news")
+            system.simulator.run(until=system.simulator.now + 0.5)
+        system.run(until=system.simulator.now + 10)
+        report = BiasDetector(min_messages=5).analyse(audit)
+        precision, recall = report.precision_recall(selfish_ids)
+        assert recall >= 0.5
+        assert precision >= 0.5
+
+    def test_collusion_bias_validation(self, simulator, network, ledger, delivery_log):
+        with pytest.raises(ValueError):
+            SelfishGossipNode(
+                "x",
+                simulator,
+                network,
+                membership_provider=full_membership_provider(network),
+                ledger=ledger,
+                delivery_log=delivery_log,
+                colluders=["y"],
+                collusion_bias=2.0,
+            )

@@ -1,0 +1,226 @@
+"""Tests for fairness policies, benefit estimators, and the adaptive controllers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AdaptiveFanoutController,
+    AdaptivePayloadController,
+    BenefitEstimator,
+    EXPRESSIVE_POLICY,
+    Ewma,
+    FairnessPolicy,
+    FanoutSchedule,
+    PayloadSchedule,
+    TOPIC_BASED_POLICY,
+    WorkLedger,
+)
+from repro.core.accounting import BenefitWeights, ContributionWeights, NodeAccount
+
+
+class TestFairnessPolicy:
+    def test_expressive_policy_ignores_filters(self):
+        account = NodeAccount(node_id="a", events_delivered=4, filters_placed=10)
+        assert EXPRESSIVE_POLICY.benefit(account) == 4.0
+
+    def test_topic_policy_counts_filters_when_quiet(self):
+        account = NodeAccount(node_id="a", events_delivered=0, filters_placed=3)
+        assert TOPIC_BASED_POLICY.benefit(account, busyness=0.0) == 3.0
+
+    def test_topic_policy_fades_filter_term_when_busy(self):
+        account = NodeAccount(node_id="a", events_delivered=0, filters_placed=3)
+        quiet = TOPIC_BASED_POLICY.benefit(account, busyness=0.0)
+        busy = TOPIC_BASED_POLICY.benefit(account, busyness=20.0)
+        assert busy < quiet
+
+    def test_target_shares_proportional_to_benefit(self):
+        policy = FairnessPolicy(minimum_share=0.0)
+        shares = policy.target_shares({"a": 30.0, "b": 10.0, "c": 0.0})
+        assert shares["a"] == pytest.approx(0.75)
+        assert shares["b"] == pytest.approx(0.25)
+        assert shares["c"] == pytest.approx(0.0)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_target_shares_floor_keeps_everyone_connected(self):
+        policy = FairnessPolicy(minimum_share=0.5)
+        shares = policy.target_shares({"a": 100.0, "b": 0.0})
+        assert shares["b"] > 0.0
+
+    def test_target_shares_equal_when_no_benefit(self):
+        policy = FairnessPolicy()
+        shares = policy.target_shares({"a": 0.0, "b": 0.0})
+        assert shares["a"] == pytest.approx(shares["b"])
+
+    def test_instability_penalty_raises_share(self):
+        policy = FairnessPolicy(instability_penalty=0.5, minimum_share=0.0)
+        stable = policy.target_shares({"a": 10.0, "b": 10.0}, crashes={"a": 0, "b": 0})
+        flappy = policy.target_shares({"a": 10.0, "b": 10.0}, crashes={"a": 0, "b": 4})
+        assert flappy["b"] > stable["b"]
+
+    def test_policy_level_ledger_aggregation(self):
+        ledger = WorkLedger()
+        ledger.record_delivery("a", events=5)
+        ledger.record_subscribe("a")
+        ledger.record_gossip_send("b", messages=7)
+        contributions = TOPIC_BASED_POLICY.contributions(ledger)
+        benefits = TOPIC_BASED_POLICY.benefits(ledger)
+        assert contributions["b"] == 7.0
+        assert benefits["a"] > 0
+
+    def test_empty_target_shares(self):
+        assert FairnessPolicy().target_shares({}) == {}
+
+
+class TestEwmaAndEstimator:
+    def test_ewma_first_observation_is_exact(self):
+        ewma = Ewma(alpha=0.5)
+        assert ewma.observe(10.0) == 10.0
+
+    def test_ewma_smooths_towards_new_samples(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.observe(0.0)
+        assert ewma.observe(10.0) == 5.0
+        ewma.reset()
+        assert ewma.value == 0.0 and ewma.observations == 0
+
+    def test_ewma_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+
+    def test_relative_benefit_neutral_without_data(self):
+        estimator = BenefitEstimator()
+        assert estimator.relative_benefit() == 1.0
+
+    def test_relative_benefit_tracks_ratio(self):
+        estimator = BenefitEstimator(own_alpha=1.0, peer_alpha=1.0)
+        estimator.observe_own_round(8.0)
+        estimator.observe_peer_rate(2.0)
+        assert estimator.relative_benefit() == pytest.approx(4.0)
+
+    def test_zero_population_rate_boosts_benefiting_node(self):
+        estimator = BenefitEstimator(own_alpha=1.0, peer_alpha=1.0)
+        estimator.observe_own_round(3.0)
+        estimator.observe_peer_rate(0.0)
+        assert estimator.relative_benefit() == 2.0
+        quiet = BenefitEstimator(own_alpha=1.0, peer_alpha=1.0)
+        quiet.observe_own_round(0.0)
+        quiet.observe_peer_rate(0.0)
+        assert quiet.relative_benefit() == 1.0
+
+    def test_negative_peer_rates_clamped(self):
+        estimator = BenefitEstimator(peer_alpha=1.0)
+        estimator.observe_peer_rate(-5.0)
+        assert estimator.population_rate == 0.0
+
+
+class TestFanoutSchedule:
+    def test_clamp(self):
+        schedule = FanoutSchedule(base_fanout=4, min_fanout=2, max_fanout=8)
+        assert schedule.clamp(0.4) == 2
+        assert schedule.clamp(5.4) == 5
+        assert schedule.clamp(99) == 8
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            FanoutSchedule(base_fanout=1, min_fanout=2, max_fanout=3)
+        with pytest.raises(ValueError):
+            PayloadSchedule(base_payload=1, min_payload=2, max_payload=4)
+
+
+class TestAdaptiveFanoutController:
+    def test_high_benefit_node_raises_fanout(self):
+        controller = AdaptiveFanoutController(
+            schedule=FanoutSchedule(base_fanout=4, min_fanout=1, max_fanout=12), smoothing=1.0
+        )
+        for _ in range(10):
+            controller.observe_peer_rate(1.0)
+            controller.observe_round(own_deliveries=4.0)
+        assert controller.current_fanout > 4
+
+    def test_low_benefit_node_drops_to_floor(self):
+        controller = AdaptiveFanoutController(
+            schedule=FanoutSchedule(base_fanout=4, min_fanout=1, max_fanout=12), smoothing=1.0
+        )
+        for _ in range(10):
+            controller.observe_peer_rate(5.0)
+            controller.observe_round(own_deliveries=0.0)
+        assert controller.current_fanout == 1
+
+    def test_neutral_node_stays_at_base(self):
+        controller = AdaptiveFanoutController(
+            schedule=FanoutSchedule(base_fanout=4, min_fanout=1, max_fanout=12), smoothing=1.0
+        )
+        for _ in range(10):
+            controller.observe_peer_rate(2.0)
+            controller.observe_round(own_deliveries=2.0)
+        assert controller.current_fanout == 4
+
+    def test_convergence_measurement(self):
+        controller = AdaptiveFanoutController(smoothing=1.0)
+        for _ in range(12):
+            controller.observe_peer_rate(1.0)
+            controller.observe_round(own_deliveries=1.0)
+        rounds = controller.rounds_to_converge(stable_rounds=5)
+        assert rounds is not None and rounds <= 5
+        assert controller.rounds_to_converge(target=99) is None
+        with pytest.raises(ValueError):
+            controller.rounds_to_converge(stable_rounds=0)
+
+    def test_reacts_to_interest_change(self):
+        controller = AdaptiveFanoutController(
+            schedule=FanoutSchedule(base_fanout=4, min_fanout=1, max_fanout=16), smoothing=0.6
+        )
+        for _ in range(15):
+            controller.observe_peer_rate(2.0)
+            controller.observe_round(own_deliveries=0.0)
+        low = controller.current_fanout
+        for _ in range(15):
+            controller.observe_peer_rate(2.0)
+            controller.observe_round(own_deliveries=8.0)
+        assert controller.current_fanout > low
+
+
+class TestAdaptivePayloadController:
+    def test_scaling_with_relative_benefit(self):
+        controller = AdaptivePayloadController(
+            schedule=PayloadSchedule(base_payload=8, min_payload=1, max_payload=32), smoothing=1.0
+        )
+        for _ in range(10):
+            controller.observe_peer_rate(1.0)
+            controller.observe_round(own_deliveries=3.0, backlog=0)
+        assert controller.current_payload > 8
+
+    def test_backlog_floor_prevents_starving_the_buffer(self):
+        controller = AdaptivePayloadController(
+            schedule=PayloadSchedule(base_payload=8, min_payload=1, max_payload=32),
+            smoothing=1.0,
+            backlog_fraction=0.5,
+        )
+        for _ in range(10):
+            controller.observe_peer_rate(10.0)
+            controller.observe_round(own_deliveries=0.0, backlog=20)
+        assert controller.current_payload >= 10
+
+    def test_floor_and_cap_respected(self):
+        schedule = PayloadSchedule(base_payload=4, min_payload=2, max_payload=6)
+        controller = AdaptivePayloadController(schedule=schedule, smoothing=1.0)
+        for _ in range(10):
+            controller.observe_peer_rate(100.0)
+            controller.observe_round(own_deliveries=0.0, backlog=0)
+        assert controller.current_payload == 2
+        for _ in range(30):
+            controller.observe_peer_rate(0.01)
+            controller.observe_round(own_deliveries=50.0, backlog=0)
+        assert controller.current_payload == 6
+
+    def test_convergence_history(self):
+        controller = AdaptivePayloadController(smoothing=1.0)
+        for _ in range(8):
+            controller.observe_peer_rate(1.0)
+            controller.observe_round(own_deliveries=1.0)
+        assert controller.rounds_to_converge(stable_rounds=3) is not None
+
+    def test_invalid_backlog_fraction(self):
+        with pytest.raises(ValueError):
+            AdaptivePayloadController(backlog_fraction=1.5)

@@ -1,0 +1,111 @@
+"""Tests for the gossip event buffer and its selection strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gossip import EventBuffer, SELECTION_STRATEGIES
+from repro.pubsub import Event
+
+
+def make_event(index: int, size: int = 1) -> Event:
+    return Event(event_id=f"e{index}", publisher="p", attributes={"topic": "t"}, size=size)
+
+
+class TestEventBuffer:
+    def test_add_and_duplicate_rejection(self):
+        buffer = EventBuffer(capacity=10)
+        assert buffer.add(make_event(1), received_at=0.0)
+        assert not buffer.add(make_event(1), received_at=1.0)
+        assert len(buffer) == 1
+        assert "e1" in buffer
+        assert buffer.get("e1").event_id == "e1"
+        assert buffer.get("missing") is None
+
+    def test_capacity_eviction_prefers_oldest(self):
+        buffer = EventBuffer(capacity=2, max_rounds=50)
+        buffer.add(make_event(1), received_at=0.0)
+        buffer.start_round()
+        buffer.add(make_event(2), received_at=1.0)
+        buffer.add(make_event(3), received_at=1.0)
+        assert len(buffer) == 2
+        assert "e1" not in buffer
+        assert buffer.evictions == 1
+
+    def test_round_expiration(self):
+        buffer = EventBuffer(capacity=10, max_rounds=2)
+        buffer.add(make_event(1), received_at=0.0)
+        assert buffer.start_round() == 0
+        assert buffer.start_round() == 0
+        assert buffer.start_round() == 1
+        assert len(buffer) == 0
+        assert buffer.expirations == 1
+
+    def test_select_random_is_bounded_and_unique(self):
+        buffer = EventBuffer(capacity=20)
+        for index in range(10):
+            buffer.add(make_event(index), received_at=0.0)
+        rng = random.Random(1)
+        selection = buffer.select(4, rng, strategy="random")
+        assert len(selection) == 4
+        assert len({event.event_id for event in selection}) == 4
+        assert buffer.select(100, rng, strategy="random")  # returns everything
+
+    def test_select_newest_prefers_fresh_events(self):
+        buffer = EventBuffer(capacity=20)
+        buffer.add(make_event(1), received_at=0.0)
+        buffer.start_round()
+        buffer.add(make_event(2), received_at=1.0)
+        rng = random.Random(1)
+        assert [event.event_id for event in buffer.select(1, rng, strategy="newest")] == ["e2"]
+        assert [event.event_id for event in buffer.select(1, rng, strategy="oldest")] == ["e1"]
+        assert [event.event_id for event in buffer.select(1, rng, strategy="stale-first")] == ["e1"]
+
+    def test_select_least_forwarded(self):
+        buffer = EventBuffer(capacity=20)
+        buffer.add(make_event(1), received_at=0.0)
+        buffer.add(make_event(2), received_at=0.0)
+        buffer.mark_forwarded(["e1"])
+        rng = random.Random(1)
+        assert [event.event_id for event in buffer.select(1, rng, strategy="least-forwarded")] == ["e2"]
+
+    def test_unknown_strategy_rejected(self):
+        buffer = EventBuffer()
+        buffer.add(make_event(1), received_at=0.0)
+        with pytest.raises(ValueError):
+            buffer.select(1, random.Random(1), strategy="bogus")
+
+    def test_select_zero_or_empty_returns_nothing(self):
+        buffer = EventBuffer()
+        assert buffer.select(3, random.Random(1)) == []
+        buffer.add(make_event(1), received_at=0.0)
+        assert buffer.select(0, random.Random(1)) == []
+
+    def test_remove(self):
+        buffer = EventBuffer()
+        buffer.add(make_event(1), received_at=0.0)
+        assert buffer.remove("e1")
+        assert not buffer.remove("e1")
+
+    def test_event_ids_sorted(self):
+        buffer = EventBuffer()
+        for index in (3, 1, 2):
+            buffer.add(make_event(index), received_at=0.0)
+        assert buffer.event_ids() == ["e1", "e2", "e3"]
+        assert [event.event_id for event in buffer.events()] == ["e1", "e2", "e3"]
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            EventBuffer(capacity=0)
+        with pytest.raises(ValueError):
+            EventBuffer(max_rounds=0)
+
+    def test_all_documented_strategies_work(self):
+        buffer = EventBuffer()
+        for index in range(5):
+            buffer.add(make_event(index), received_at=0.0)
+        rng = random.Random(2)
+        for strategy in SELECTION_STRATEGIES:
+            assert len(buffer.select(2, rng, strategy=strategy)) == 2

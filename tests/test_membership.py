@@ -1,0 +1,250 @@
+"""Tests for partial views and the membership protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.membership import (
+    CyclonMembership,
+    FullMembership,
+    InterestAwareMembership,
+    LpbcastMembership,
+    NodeDescriptor,
+    PartialView,
+    cyclon_provider,
+    full_membership_provider,
+    lpbcast_provider,
+)
+from repro.sim import Network, Process, Simulator
+
+
+class MemberNode(Process):
+    """Process that hosts a membership component and runs it every round."""
+
+    def __init__(self, node_id, simulator, network, provider):
+        super().__init__(node_id, simulator, network)
+        self.membership = provider(self)
+
+    def on_start(self):
+        self.add_timer("round", 1.0)
+
+    def on_timer(self, name):
+        self.membership.on_round()
+
+    def on_message(self, message):
+        self.membership.handle(message)
+
+
+def build_overlay(simulator, network, provider, count=20, seeds=4):
+    nodes = {}
+    for index in range(count):
+        node = MemberNode(f"n{index}", simulator, network, provider)
+        nodes[node.node_id] = node
+    ids = sorted(nodes)
+    rng = simulator.rng.stream("test-bootstrap")
+    for node in nodes.values():
+        others = [other for other in ids if other != node.node_id]
+        node.membership.bootstrap(rng.sample(others, min(seeds, len(others))))
+        node.start()
+    return nodes
+
+
+class TestPartialView:
+    def test_never_contains_owner(self):
+        view = PartialView("me", capacity=5)
+        assert not view.add(NodeDescriptor("me"))
+        assert len(view) == 0
+
+    def test_capacity_respected_with_age_based_eviction(self):
+        view = PartialView("me", capacity=2)
+        view.add(NodeDescriptor("a", age=5))
+        view.add(NodeDescriptor("b", age=1))
+        assert view.add(NodeDescriptor("c", age=0))
+        assert len(view) == 2
+        assert "a" not in view
+        # An older descriptor than everything in the view is rejected.
+        assert not view.add(NodeDescriptor("d", age=9))
+
+    def test_duplicate_keeps_younger(self):
+        view = PartialView("me", capacity=5)
+        view.add(NodeDescriptor("a", age=5))
+        assert view.add(NodeDescriptor("a", age=1))
+        assert view.get("a").age == 1
+        assert not view.add(NodeDescriptor("a", age=7))
+
+    def test_age_all_and_oldest(self):
+        view = PartialView("me", capacity=5)
+        view.add(NodeDescriptor("a", age=0))
+        view.add(NodeDescriptor("b", age=3))
+        view.age_all()
+        assert view.get("a").age == 1
+        assert view.oldest().node_id == "b"
+
+    def test_sample_excludes_and_bounds(self):
+        view = PartialView("me", capacity=10)
+        for name in "abcde":
+            view.add(NodeDescriptor(name))
+        import random
+
+        rng = random.Random(1)
+        sample = view.sample(rng, 3, exclude=["a"])
+        assert len(sample) == 3
+        assert "a" not in sample
+        assert set(view.sample(rng, 99)) == set("abcde")
+
+    def test_replace_entries(self):
+        view = PartialView("me", capacity=2)
+        view.replace_entries([NodeDescriptor("a"), NodeDescriptor("b"), NodeDescriptor("c")])
+        assert len(view) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PartialView("me", capacity=0)
+
+
+class TestFullMembership:
+    def test_selects_only_alive_nodes(self, simulator, network):
+        provider = full_membership_provider(network)
+        nodes = build_overlay(simulator, network, provider, count=10)
+        nodes["n3"].crash()
+        rng = simulator.rng.stream("test")
+        component = nodes["n0"].membership
+        partners = component.select_partners(20, rng)
+        assert "n3" not in partners
+        assert "n0" not in partners
+        assert set(partners).issubset(set(component.known_peers()))
+
+    def test_sample_size_respected(self, simulator, network):
+        provider = full_membership_provider(network)
+        nodes = build_overlay(simulator, network, provider, count=10)
+        rng = simulator.rng.stream("test")
+        assert len(nodes["n0"].membership.select_partners(3, rng)) == 3
+
+
+class TestCyclonMembership:
+    def test_views_fill_and_stay_bounded(self, simulator, network):
+        provider = cyclon_provider(view_size=8, shuffle_size=3)
+        nodes = build_overlay(simulator, network, provider, count=30, seeds=3)
+        simulator.run(until=20.0)
+        sizes = [len(node.membership.view) for node in nodes.values()]
+        assert all(1 <= size <= 8 for size in sizes)
+        assert sum(sizes) / len(sizes) > 4
+
+    def test_shuffles_happen_in_both_roles(self, simulator, network):
+        provider = cyclon_provider(view_size=8, shuffle_size=3)
+        nodes = build_overlay(simulator, network, provider, count=20, seeds=3)
+        simulator.run(until=15.0)
+        assert sum(node.membership.shuffles_initiated for node in nodes.values()) > 0
+        assert sum(node.membership.shuffles_answered for node in nodes.values()) > 0
+
+    def test_crashed_node_eventually_leaves_views(self, simulator, network):
+        provider = cyclon_provider(view_size=6, shuffle_size=3)
+        nodes = build_overlay(simulator, network, provider, count=20, seeds=5)
+        simulator.run(until=5.0)
+        nodes["n5"].crash()
+        simulator.run(until=60.0)
+        holders = sum(1 for node in nodes.values() if node.alive and "n5" in node.membership.view)
+        alive = sum(1 for node in nodes.values() if node.alive)
+        # The dead node's descriptor only ages, so most views have purged it.
+        assert holders <= alive * 0.4
+
+    def test_overlay_is_connected_after_mixing(self, simulator, network):
+        provider = cyclon_provider(view_size=6, shuffle_size=3)
+        nodes = build_overlay(simulator, network, provider, count=25, seeds=2)
+        simulator.run(until=30.0)
+        # Breadth-first search over the union of directed view edges.
+        reached = {"n0"}
+        frontier = ["n0"]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in nodes[current].membership.known_peers():
+                if neighbor not in reached:
+                    reached.add(neighbor)
+                    frontier.append(neighbor)
+        assert len(reached) == len(nodes)
+
+    def test_invalid_parameters(self, simulator, network):
+        node = MemberNode("x", simulator, network, full_membership_provider(network))
+        with pytest.raises(ValueError):
+            CyclonMembership(node, view_size=2, shuffle_size=5)
+        with pytest.raises(ValueError):
+            CyclonMembership(node, view_size=0)
+
+
+class TestLpbcastMembership:
+    def test_digest_contains_self(self, simulator, network):
+        provider = lpbcast_provider(view_size=10, digest_size=4)
+        nodes = build_overlay(simulator, network, provider, count=10, seeds=3)
+        digest = nodes["n0"].membership.digest_for_gossip()
+        assert any(descriptor.node_id == "n0" for descriptor in digest.descriptors)
+        assert len(digest.descriptors) <= 4
+
+    def test_absorb_digest_learns_new_peers(self, simulator, network):
+        provider = lpbcast_provider(view_size=10, digest_size=4)
+        nodes = build_overlay(simulator, network, provider, count=6, seeds=1)
+        target = nodes["n0"].membership
+        before = set(target.known_peers())
+        digest = nodes["n5"].membership.digest_for_gossip()
+        target.absorb_digest(digest)
+        assert set(target.known_peers()) >= before
+
+    def test_view_stays_bounded_under_many_digests(self, simulator, network):
+        provider = lpbcast_provider(view_size=5, digest_size=3)
+        nodes = build_overlay(simulator, network, provider, count=20, seeds=2)
+        component = nodes["n0"].membership
+        for node_id, node in nodes.items():
+            if node_id != "n0":
+                component.absorb_digest(node.membership.digest_for_gossip())
+        assert len(component.view) <= 5
+
+    def test_standalone_refresh_sends_messages(self, simulator, network):
+        provider = lpbcast_provider(view_size=10, digest_size=4, standalone_refresh=True)
+        build_overlay(simulator, network, provider, count=10, seeds=3)
+        simulator.run(until=10.0)
+        assert network.stats.sent_by_kind.get("membership.lpbcast.digest", 0) > 0
+
+
+class TestInterestAwareMembership:
+    def _build(self, simulator, network, bias=1.0):
+        topics = {
+            "n0": ["a"],
+            "n1": ["a"],
+            "n2": ["a"],
+            "n3": ["b"],
+            "n4": ["b"],
+            "n5": ["c"],
+        }
+        provider = full_membership_provider(network)
+        nodes = build_overlay(simulator, network, provider, count=6)
+        owner = nodes["n0"]
+        component = InterestAwareMembership(
+            owner,
+            base=provider(owner),
+            topics_of=lambda peer: topics.get(peer, []),
+            own_topics=lambda: topics["n0"],
+            bias=bias,
+        )
+        return component, nodes
+
+    def test_biased_selection_prefers_overlapping_peers(self, simulator, network):
+        component, _ = self._build(simulator, network, bias=1.0)
+        rng = simulator.rng.stream("test")
+        partners = component.select_partners(2, rng)
+        assert set(partners).issubset({"n1", "n2"})
+
+    def test_mixing_keeps_some_uniform_choices(self, simulator, network):
+        component, _ = self._build(simulator, network, bias=0.0)
+        rng = simulator.rng.stream("test")
+        seen = set()
+        for _ in range(30):
+            seen.update(component.select_partners(2, rng))
+        assert seen - {"n1", "n2"}
+
+    def test_peers_for_topic(self, simulator, network):
+        component, _ = self._build(simulator, network)
+        rng = simulator.rng.stream("test")
+        assert set(component.peers_for_topic("b", 5, rng)) == {"n3", "n4"}
+
+    def test_invalid_bias(self, simulator, network):
+        with pytest.raises(ValueError):
+            self._build(simulator, network, bias=2.0)

@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    WorkLedger,
+    contribution_benefit_ratios,
+    gini_coefficient,
+    jain_index,
+    smoothed_ratios,
+    wasted_contribution_share,
+)
+from repro.dht import IdSpace, PastryRouter
+from repro.gossip import EventBuffer
+from repro.membership import NodeDescriptor, PartialView
+from repro.pubsub import (
+    AttributeCondition,
+    ContentFilter,
+    Event,
+    InterestFunction,
+    TopicFilter,
+    TopicHierarchy,
+    topic_path,
+)
+from repro.sim.metrics import percentile
+from repro.sim.rng import zipf_weights
+
+# Bounded non-negative floats for metric inputs.
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+node_values_strategy = st.dictionaries(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestFairnessIndexProperties:
+    @given(values_strategy)
+    def test_jain_index_bounds(self, values):
+        index = jain_index(values)
+        assert 0.0 <= index <= 1.0 + 1e-9
+
+    @given(st.floats(min_value=0.01, max_value=1e5), st.integers(min_value=1, max_value=30))
+    def test_jain_index_is_one_for_equal_values(self, value, count):
+        assert abs(jain_index([value] * count) - 1.0) < 1e-9
+
+    @given(values_strategy)
+    def test_gini_bounds(self, values):
+        coefficient = gini_coefficient(values)
+        assert -1e-9 <= coefficient <= 1.0
+
+    @given(values_strategy, st.floats(min_value=1.001, max_value=10.0))
+    def test_jain_index_scale_invariant(self, values, scale):
+        original = jain_index(values)
+        scaled = jain_index([value * scale for value in values])
+        assert abs(original - scaled) < 1e-6
+
+    @given(node_values_strategy, node_values_strategy)
+    def test_ratios_nonnegative_and_cover_all_nodes(self, contributions, benefits):
+        ratios = contribution_benefit_ratios(contributions, benefits)
+        assert set(ratios) == set(contributions) | set(benefits)
+        assert all(value >= 0 for value in ratios.values())
+        smoothed = smoothed_ratios(contributions, benefits)
+        assert all(value >= 0 for value in smoothed.values())
+
+    @given(node_values_strategy, node_values_strategy)
+    def test_wasted_share_is_a_fraction(self, contributions, benefits):
+        share = wasted_contribution_share(contributions, benefits)
+        assert 0.0 <= share <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=50),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_percentile_within_sample_range(self, values, quantile):
+        ordered = sorted(values)
+        result = percentile(ordered, quantile)
+        assert ordered[0] - 1e-9 <= result <= ordered[-1] + 1e-9
+
+    @given(st.integers(min_value=1, max_value=200), st.floats(min_value=0.0, max_value=3.0))
+    def test_zipf_weights_sum_to_one(self, count, exponent):
+        weights = zipf_weights(count, exponent)
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert all(weight > 0 for weight in weights)
+
+
+class TestLedgerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["publish", "gossip", "deliver", "subscribe", "unsubscribe"]),
+                st.sampled_from(["a", "b", "c"]),
+            ),
+            max_size=100,
+        )
+    )
+    def test_counters_never_negative_and_totals_match(self, operations):
+        ledger = WorkLedger()
+        for operation, node in operations:
+            if operation == "publish":
+                ledger.record_publish(node)
+            elif operation == "gossip":
+                ledger.record_gossip_send(node, messages=1, events=2, size=2)
+            elif operation == "deliver":
+                ledger.record_delivery(node)
+            elif operation == "subscribe":
+                ledger.record_subscribe(node)
+            else:
+                ledger.record_unsubscribe(node)
+        totals = ledger.totals()
+        for node in ledger.node_ids():
+            account = ledger.account(node)
+            assert account.filters_placed >= 0
+            assert account.events_delivered >= 0
+        assert totals.events_published == sum(
+            ledger.account(node).events_published for node in ledger.node_ids()
+        )
+
+
+class TestPartialViewProperties:
+    @given(
+        st.lists(
+            st.tuples(st.text(alphabet="nodexyz0123456789", min_size=1, max_size=6),
+                      st.integers(min_value=0, max_value=50)),
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_capacity_and_owner_exclusion_invariants(self, descriptors, capacity):
+        view = PartialView("owner", capacity=capacity)
+        for name, age in descriptors:
+            view.add(NodeDescriptor(node_id=name, age=age))
+        assert len(view) <= capacity
+        assert "owner" not in view
+        assert len(set(view.node_ids())) == len(view.node_ids())
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=20))
+    def test_sample_never_exceeds_request_or_content(self, capacity, count):
+        view = PartialView("owner", capacity=capacity)
+        for index in range(capacity):
+            view.add(NodeDescriptor(f"n{index}"))
+        sample = view.sample(random.Random(0), count)
+        assert len(sample) <= min(count, len(view))
+        assert len(set(sample)) == len(sample)
+
+
+class TestBufferProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), max_size=120),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_buffer_never_exceeds_capacity_and_never_duplicates(self, ids, capacity, select_count):
+        buffer = EventBuffer(capacity=capacity, max_rounds=5)
+        for identifier in ids:
+            event = Event(event_id=f"e{identifier}", publisher="p", attributes={})
+            buffer.add(event, received_at=0.0)
+        assert len(buffer) <= capacity
+        selection = buffer.select(select_count, random.Random(1))
+        assert len(selection) <= select_count
+        assert len({event.event_id for event in selection}) == len(selection)
+
+
+class TestFilterProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["topic", "level", "category"]),
+            st.one_of(st.integers(min_value=-10, max_value=10), st.sampled_from(["a", "b", "c"])),
+            max_size=3,
+        )
+    )
+    def test_topic_filter_matches_iff_topic_equal(self, attributes):
+        event = Event(event_id="e", publisher="p", attributes=attributes)
+        filter_ = TopicFilter("a")
+        assert filter_.matches(event) == (attributes.get("topic") == "a")
+
+    @given(st.integers(min_value=-20, max_value=20), st.integers(min_value=-20, max_value=20))
+    def test_content_filter_conjunction_semantics(self, level, threshold):
+        event = Event(event_id="e", publisher="p", attributes={"level": level, "category": "x"})
+        filter_ = ContentFilter(
+            conditions=(
+                AttributeCondition("category", "==", "x"),
+                AttributeCondition("level", ">=", threshold),
+            )
+        )
+        assert filter_.matches(event) == (level >= threshold)
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=0, max_size=6))
+    def test_interest_function_is_union_of_filters(self, topics):
+        interest = InterestFunction([TopicFilter(topic) for topic in topics])
+        probe = Event(event_id="e", publisher="p", attributes={"topic": "a"})
+        assert interest.is_interested(probe) == ("a" in topics)
+        assert interest.filter_count == len(set(topics))
+
+
+class TestTopicHierarchyProperties:
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=4).map("/".join),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_ancestors_always_present(self, names):
+        hierarchy = TopicHierarchy(names)
+        for topic in hierarchy:
+            for ancestor in hierarchy.ancestors(topic.name):
+                assert ancestor.name in hierarchy
+        # Every name's full prefix chain is contained.
+        for name in names:
+            for prefix in topic_path(name):
+                assert prefix in hierarchy
+
+
+class TestPastryProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=2, max_value=60), st.text(min_size=1, max_size=10))
+    def test_routing_always_terminates_at_unique_root(self, node_count, key_name):
+        node_ids = [f"n{index}" for index in range(node_count)]
+        router = PastryRouter(node_ids)
+        key = router.key_for(key_name)
+        root = router.root_of(key)
+        for start in node_ids[: min(10, node_count)]:
+            result = router.route(start, key)
+            assert result.root == root
+            assert result.path[-1] == root
+            assert len(result.path) == len(set(result.path))  # no loops
+
+    @given(st.text(min_size=1, max_size=12), st.text(min_size=1, max_size=12))
+    def test_shared_prefix_symmetry(self, left_name, right_name):
+        space = IdSpace()
+        left = space.hash_name(left_name)
+        right = space.hash_name(right_name)
+        assert space.shared_prefix_length(left, right) == space.shared_prefix_length(right, left)
+        assert space.distance(left, right) == space.distance(right, left)

@@ -1,0 +1,183 @@
+"""Tests for filters and the interest function (the paper's I(p, e))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pubsub import (
+    AndFilter,
+    AttributeCondition,
+    ContentFilter,
+    Event,
+    InterestFunction,
+    MatchAllFilter,
+    MatchNoneFilter,
+    NotFilter,
+    OrFilter,
+    TopicFilter,
+)
+
+
+def make_event(**attributes) -> Event:
+    return Event(event_id=f"e-{sorted(attributes.items())}", publisher="p", attributes=attributes)
+
+
+class TestTopicFilter:
+    def test_matches_same_topic_only(self):
+        news = TopicFilter("news")
+        assert news.matches(make_event(topic="news"))
+        assert not news.matches(make_event(topic="sports"))
+        assert not news.matches(make_event(price=3))
+
+    def test_filter_id_and_topics(self):
+        news = TopicFilter("news")
+        assert news.filter_id == "topic:news"
+        assert news.topics == ("news",)
+
+    def test_callable_form(self):
+        assert TopicFilter("news")(make_event(topic="news"))
+
+
+class TestAttributeCondition:
+    @pytest.mark.parametrize(
+        "operator,value,attribute_value,expected",
+        [
+            ("==", 5, 5, True),
+            ("==", 5, 6, False),
+            ("!=", 5, 6, True),
+            ("<", 5, 4, True),
+            ("<=", 5, 5, True),
+            (">", 5, 6, True),
+            (">=", 5, 4, False),
+            ("in", ("a", "b"), "a", True),
+            ("in", ("a", "b"), "c", False),
+            ("contains", "ab", "xaby", True),
+            ("prefix", "foo", "foobar", True),
+            ("prefix", "bar", "foobar", False),
+        ],
+    )
+    def test_operators(self, operator, value, attribute_value, expected):
+        condition = AttributeCondition("x", operator, value)
+        assert condition.holds_for(make_event(x=attribute_value)) is expected
+
+    def test_missing_attribute_never_matches(self):
+        condition = AttributeCondition("x", "==", 1)
+        assert not condition.holds_for(make_event(y=1))
+
+    def test_incomparable_types_do_not_match(self):
+        condition = AttributeCondition("x", "<", 5)
+        assert not condition.holds_for(make_event(x="a string"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeCondition("x", "~=", 1)
+
+    def test_describe(self):
+        assert AttributeCondition("x", ">=", 3).describe() == "x>=3"
+
+
+class TestContentFilter:
+    def test_all_conditions_must_hold(self):
+        filter_ = ContentFilter(
+            conditions=(
+                AttributeCondition("category", "==", "metals"),
+                AttributeCondition("level", ">=", 5),
+            )
+        )
+        assert filter_.matches(make_event(category="metals", level=7))
+        assert not filter_.matches(make_event(category="metals", level=3))
+        assert not filter_.matches(make_event(category="energy", level=7))
+
+    def test_empty_filter_matches_everything(self):
+        assert ContentFilter().matches(make_event(anything=1))
+
+    def test_build_shorthand(self):
+        filter_ = ContentFilter.build(category="metals", level=5)
+        assert filter_.matches(make_event(category="metals", level=5))
+        assert not filter_.matches(make_event(category="metals", level=6))
+
+    def test_topics_pinned_by_equality_on_topic(self):
+        filter_ = ContentFilter(
+            conditions=(AttributeCondition("topic", "==", "news"),)
+        )
+        assert filter_.topics == ("news",)
+        assert ContentFilter.build(level=3).topics == ()
+
+    def test_filter_ids_are_stable_and_distinct(self):
+        first = ContentFilter.build(category="a")
+        second = ContentFilter.build(category="a")
+        third = ContentFilter.build(category="b")
+        assert first.filter_id == second.filter_id
+        assert first.filter_id != third.filter_id
+
+
+class TestCompositeFilters:
+    def test_and_or_not(self):
+        news = TopicFilter("news")
+        urgent = ContentFilter.build(priority="high")
+        both = AndFilter(children=(news, urgent))
+        either = OrFilter(children=(news, urgent))
+        negated = NotFilter(child=news)
+        event_news_high = make_event(topic="news", priority="high")
+        event_news_low = make_event(topic="news", priority="low")
+        event_other = make_event(topic="sports", priority="low")
+        assert both.matches(event_news_high)
+        assert not both.matches(event_news_low)
+        assert either.matches(event_news_low)
+        assert not either.matches(event_other)
+        assert negated.matches(event_other)
+        assert not negated.matches(event_news_low)
+
+    def test_match_all_and_none(self):
+        assert MatchAllFilter().matches(make_event(x=1))
+        assert not MatchNoneFilter().matches(make_event(x=1))
+
+    def test_or_topics_only_when_all_branches_pin(self):
+        pinned = OrFilter(children=(TopicFilter("a"), TopicFilter("b")))
+        unpinned = OrFilter(children=(TopicFilter("a"), MatchAllFilter()))
+        assert set(pinned.topics) == {"a", "b"}
+        assert unpinned.topics == ()
+
+    def test_and_topics_union(self):
+        combined = AndFilter(children=(TopicFilter("a"), ContentFilter.build(level=1)))
+        assert combined.topics == ("a",)
+
+
+class TestInterestFunction:
+    def test_union_of_filters(self):
+        interest = InterestFunction([TopicFilter("news"), TopicFilter("sports")])
+        assert interest.is_interested(make_event(topic="news"))
+        assert interest.is_interested(make_event(topic="sports"))
+        assert not interest.is_interested(make_event(topic="tech"))
+
+    def test_duplicate_filters_counted_once(self):
+        interest = InterestFunction()
+        assert interest.add(TopicFilter("news"))
+        assert not interest.add(TopicFilter("news"))
+        assert interest.filter_count == 1
+
+    def test_remove_and_clear(self):
+        interest = InterestFunction([TopicFilter("news")])
+        assert interest.remove(TopicFilter("news"))
+        assert not interest.remove(TopicFilter("news"))
+        interest.add(TopicFilter("a"))
+        interest.add(TopicFilter("b"))
+        interest.clear()
+        assert interest.filter_count == 0
+        assert not interest.is_interested(make_event(topic="a"))
+
+    def test_matching_filters_and_topics(self):
+        news = TopicFilter("news")
+        high = ContentFilter.build(priority="high")
+        interest = InterestFunction([news, high])
+        matched = interest.matching_filters(make_event(topic="news", priority="high"))
+        assert {f.filter_id for f in matched} == {news.filter_id, high.filter_id}
+        assert interest.topics == ["news"]
+
+    def test_contains_and_len(self):
+        interest = InterestFunction([TopicFilter("news")])
+        assert TopicFilter("news") in interest
+        assert len(interest) == 1
+
+    def test_empty_interest_matches_nothing(self):
+        assert not InterestFunction().is_interested(make_event(topic="news"))

@@ -1,0 +1,186 @@
+"""Tests for the subscription table, matching engines, and the delivery log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pubsub import (
+    ContentFilter,
+    CountingContentIndex,
+    DeliveryLog,
+    Event,
+    MatchAllFilter,
+    MatchingEngine,
+    SubscriptionTable,
+    TopicFilter,
+    TopicIndex,
+)
+
+
+def make_event(event_id="e1", **attributes) -> Event:
+    return Event(event_id=event_id, publisher="p", attributes=attributes, published_at=1.0)
+
+
+class TestSubscriptionTable:
+    def test_subscribe_creates_active_record(self):
+        table = SubscriptionTable()
+        subscription = table.subscribe("a", TopicFilter("news"), timestamp=1.0)
+        assert subscription.active
+        assert table.active_filter_count("a") == 1
+        assert table.subscribers_of_topic("news") == ["a"]
+
+    def test_unsubscribe_deactivates_and_records_lifetime(self):
+        table = SubscriptionTable()
+        table.subscribe("a", TopicFilter("news"), timestamp=1.0)
+        cancelled = table.unsubscribe("a", TopicFilter("news"), timestamp=4.0)
+        assert cancelled is not None
+        assert not cancelled.active
+        assert cancelled.lifetime == 3.0
+        assert table.active_filter_count("a") == 0
+        assert table.subscribers_of_topic("news") == []
+
+    def test_unsubscribe_without_subscription_is_noop(self):
+        table = SubscriptionTable()
+        assert table.unsubscribe("a", TopicFilter("news")) is None
+
+    def test_unsubscribe_cancels_oldest_first(self):
+        table = SubscriptionTable()
+        table.subscribe("a", TopicFilter("news"), timestamp=1.0)
+        table.subscribe("a", TopicFilter("news"), timestamp=2.0)
+        cancelled = table.unsubscribe("a", TopicFilter("news"), timestamp=3.0)
+        assert cancelled.subscribed_at == 1.0
+        assert table.active_filter_count("a") == 1
+
+    def test_unsubscribe_all(self):
+        table = SubscriptionTable()
+        table.subscribe("a", TopicFilter("news"))
+        table.subscribe("a", TopicFilter("sports"))
+        cancelled = table.unsubscribe_all("a", timestamp=9.0)
+        assert len(cancelled) == 2
+        assert table.active_filter_count("a") == 0
+
+    def test_interested_nodes_uses_filters(self):
+        table = SubscriptionTable()
+        table.subscribe("a", TopicFilter("news"))
+        table.subscribe("b", ContentFilter.build(level=3))
+        table.subscribe("c", TopicFilter("sports"))
+        interested = table.interested_nodes(make_event(topic="news", level=3))
+        assert interested == ["a", "b"]
+
+    def test_topics_of_node_and_churn_counts(self):
+        table = SubscriptionTable()
+        table.subscribe("a", TopicFilter("news"))
+        table.subscribe("a", TopicFilter("tech"))
+        table.unsubscribe("a", TopicFilter("tech"))
+        assert table.topics_of_node("a") == ["news"]
+        assert table.churn_counts() == (2, 1)
+        assert table.nodes_with_subscriptions() == ["a"]
+        assert len(table) == 1
+
+
+class TestTopicIndex:
+    def test_match_by_topic(self):
+        index = TopicIndex()
+        index.add("a", TopicFilter("news"))
+        index.add("b", TopicFilter("news"))
+        index.add("c", TopicFilter("sports"))
+        assert index.match(make_event(topic="news")) == {"a", "b"}
+        assert index.subscribers("sports") == {"c"}
+
+    def test_remove(self):
+        index = TopicIndex()
+        index.add("a", TopicFilter("news"))
+        index.remove("a", TopicFilter("news"))
+        assert index.match(make_event(topic="news")) == set()
+
+    def test_event_without_topic_matches_nothing(self):
+        index = TopicIndex()
+        index.add("a", TopicFilter("news"))
+        assert index.match(make_event(level=1)) == set()
+
+    def test_counts(self):
+        index = TopicIndex()
+        index.add("a", TopicFilter("news"))
+        index.add("b", TopicFilter("news"))
+        assert index.topic_count() == 1
+        assert index.filter_count() == 2
+
+
+class TestCountingContentIndex:
+    def test_counting_match(self):
+        index = CountingContentIndex()
+        index.add("a", ContentFilter.build(category="metals", level=5))
+        index.add("b", ContentFilter.build(category="metals"))
+        assert index.match(make_event(category="metals", level=5)) == {"a", "b"}
+        assert index.match(make_event(category="metals", level=4)) == {"b"}
+
+    def test_zero_condition_filter_matches_all(self):
+        index = CountingContentIndex()
+        index.add("a", ContentFilter())
+        assert index.match(make_event(whatever=1)) == {"a"}
+
+    def test_remove(self):
+        index = CountingContentIndex()
+        filter_ = ContentFilter.build(category="x")
+        index.add("a", filter_)
+        index.remove("a", filter_)
+        assert index.match(make_event(category="x")) == set()
+        assert index.filter_count() == 0
+
+    def test_duplicate_add_is_idempotent(self):
+        index = CountingContentIndex()
+        filter_ = ContentFilter.build(category="x")
+        index.add("a", filter_)
+        index.add("a", filter_)
+        assert index.filter_count() == 1
+
+
+class TestMatchingEngine:
+    def test_routes_to_both_indexes_and_fallback(self):
+        engine = MatchingEngine()
+        engine.add("a", TopicFilter("news"))
+        engine.add("b", ContentFilter.build(level=2))
+        engine.add("c", MatchAllFilter())
+        matched = engine.match(make_event(topic="news", level=2))
+        assert matched == {"a", "b", "c"}
+        assert engine.registered_filter_count() == 3
+
+    def test_remove_each_kind(self):
+        engine = MatchingEngine()
+        engine.add("a", TopicFilter("news"))
+        engine.add("b", ContentFilter.build(level=2))
+        engine.add("c", MatchAllFilter())
+        engine.remove("a", TopicFilter("news"))
+        engine.remove("b", ContentFilter.build(level=2))
+        engine.remove("c", MatchAllFilter())
+        assert engine.match(make_event(topic="news", level=2)) == set()
+
+
+class TestDeliveryLog:
+    def test_records_and_deduplicates(self):
+        log = DeliveryLog()
+        event = make_event()
+        assert log.record("a", event, delivered_at=2.0) is not None
+        assert log.record("a", event, delivered_at=3.0) is None
+        assert log.delivery_count("a") == 1
+        assert log.delivered("a", "e1")
+        assert log.total_deliveries() == 1
+
+    def test_per_event_and_per_node_views(self):
+        log = DeliveryLog()
+        event = make_event()
+        other = make_event(event_id="e2")
+        log.record("a", event, delivered_at=2.0)
+        log.record("b", event, delivered_at=2.5)
+        log.record("a", other, delivered_at=3.0)
+        assert {record.node_id for record in log.deliveries_of_event("e1")} == {"a", "b"}
+        assert len(log.deliveries_by_node("a")) == 2
+        assert log.nodes() == ["a", "b"]
+        assert log.event_ids() == ["e1", "e2"]
+
+    def test_latencies(self):
+        log = DeliveryLog()
+        log.record("a", make_event(), delivered_at=2.0)
+        assert log.latencies() == [1.0]
+        record = log.deliveries_by_node("a")[0]
+        assert record.latency == 1.0

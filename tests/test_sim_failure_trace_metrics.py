@@ -1,0 +1,217 @@
+"""Tests for failure injection, trace recording, and metric primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    ChurnInjector,
+    CrashSchedule,
+    Histogram,
+    MetricsRegistry,
+    Network,
+    PartitionInjector,
+    Process,
+    ProcessRegistry,
+    Simulator,
+    TraceRecorder,
+)
+from repro.sim.metrics import percentile
+
+
+class Dummy(Process):
+    pass
+
+
+def build_population(simulator, network, count=10):
+    registry = ProcessRegistry()
+    for index in range(count):
+        process = Dummy(f"n{index}", simulator, network)
+        process.start()
+        registry.add(process)
+    return registry
+
+
+class TestCrashSchedule:
+    def test_crash_and_recover_at_scheduled_times(self, simulator, network):
+        registry = build_population(simulator, network, 3)
+        schedule = CrashSchedule(simulator, registry)
+        schedule.add(1.0, "n0", "crash")
+        schedule.add(2.0, "n0", "recover")
+        simulator.run(until=1.5)
+        assert not registry.get("n0").alive
+        simulator.run(until=2.5)
+        assert registry.get("n0").alive
+
+    def test_leave_removes_from_registry(self, simulator, network):
+        registry = build_population(simulator, network, 2)
+        schedule = CrashSchedule(simulator, registry)
+        schedule.add(1.0, "n1", "leave")
+        simulator.run(until=2.0)
+        assert "n1" not in registry
+
+    def test_unknown_action_rejected(self, simulator, network):
+        registry = build_population(simulator, network, 1)
+        schedule = CrashSchedule(simulator, registry)
+        with pytest.raises(ValueError):
+            schedule.add(1.0, "n0", "explode")
+
+    def test_trace_records_events(self, simulator, network):
+        registry = build_population(simulator, network, 1)
+        trace = TraceRecorder()
+        schedule = CrashSchedule(simulator, registry, trace=trace)
+        schedule.add(1.0, "n0", "crash")
+        simulator.run(until=2.0)
+        assert trace.count("churn", "n0") == 1
+
+
+class TestChurnInjector:
+    def test_churn_takes_nodes_down_and_back(self, simulator, network):
+        registry = build_population(simulator, network, 30)
+        injector = ChurnInjector(
+            simulator, registry, period=1.0, down_probability=0.5, up_probability=0.5
+        )
+        injector.start()
+        simulator.run(until=10.0)
+        assert injector.crashes > 0
+        assert injector.recoveries > 0
+
+    def test_protected_nodes_never_crash(self, simulator, network):
+        registry = build_population(simulator, network, 10)
+        injector = ChurnInjector(
+            simulator,
+            registry,
+            period=1.0,
+            down_probability=1.0,
+            up_probability=0.0,
+            protected=["n0"],
+        )
+        injector.start()
+        simulator.run(until=5.0)
+        assert registry.get("n0").alive
+        assert not registry.get("n1").alive
+
+    def test_stop_halts_churn(self, simulator, network):
+        registry = build_population(simulator, network, 10)
+        injector = ChurnInjector(simulator, registry, period=1.0, down_probability=1.0)
+        injector.start()
+        simulator.run(until=1.0)
+        crashes = injector.crashes
+        injector.stop()
+        simulator.run(until=5.0)
+        assert injector.crashes == crashes
+
+    def test_invalid_probabilities_rejected(self, simulator, network):
+        registry = build_population(simulator, network, 1)
+        with pytest.raises(ValueError):
+            ChurnInjector(simulator, registry, down_probability=1.5)
+
+
+class TestPartitionInjector:
+    def test_partition_and_heal(self, simulator, network):
+        build_population(simulator, network, 4)
+        injector = PartitionInjector(simulator, network)
+        injector.split_in_two(["n0", "n1", "n2", "n3"], time=1.0, heal_after=2.0)
+        simulator.run(until=1.5)
+        assert network._same_partition("n0", "n1")
+        assert not network._same_partition("n0", "n3")
+        simulator.run(until=4.0)
+        assert network._same_partition("n0", "n3")
+        assert injector.partitions_installed == 1
+
+    def test_invalid_fraction_rejected(self, simulator, network):
+        injector = PartitionInjector(simulator, network)
+        with pytest.raises(ValueError):
+            injector.split_in_two(["a", "b"], time=1.0, heal_after=1.0, fraction=1.5)
+
+    def test_invalid_heal_after_rejected(self, simulator, network):
+        injector = PartitionInjector(simulator, network)
+        with pytest.raises(ValueError):
+            injector.partition_at(1.0, {"a": 1}, heal_after=0.0)
+
+
+class TestTraceRecorder:
+    def test_records_and_filters(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "publish", node="a", event="e1")
+        trace.record(2.0, "deliver", node="b", event="e1")
+        trace.record(3.0, "deliver", node="b", event="e2")
+        assert len(trace) == 3
+        assert len(trace.by_category("deliver")) == 2
+        assert len(trace.by_node("b")) == 2
+        assert trace.count("deliver", node="b") == 2
+
+    def test_disabled_recorder_keeps_nothing(self):
+        trace = TraceRecorder(enabled=False)
+        assert trace.record(1.0, "publish") is None
+        assert len(trace) == 0
+
+    def test_listener_notified(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.add_listener(lambda record: seen.append(record.category))
+        trace.record(1.0, "publish")
+        assert seen == ["publish"]
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "publish")
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestMetrics:
+    def test_counter_increments_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        registry.increment("sent", node="a", amount=3)
+        registry.increment("sent", node="a")
+        assert registry.counter_value("sent", "a") == 4
+        with pytest.raises(ValueError):
+            registry.counter("sent", "a").increment(-1)
+
+    def test_counter_total_and_per_node(self):
+        registry = MetricsRegistry()
+        registry.increment("sent", node="a", amount=2)
+        registry.increment("sent", node="b", amount=3)
+        assert registry.counter_total("sent") == 5
+        assert registry.per_node_counter("sent") == {"a": 2, "b": 3}
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        registry.gauge("fanout", "a").set(4)
+        registry.gauge("fanout", "a").set(2)
+        assert registry.per_node_gauge("fanout") == {"a": 2}
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == 3.0
+
+    def test_empty_histogram_summary_is_zeroes(self):
+        summary = Histogram().summary()
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_percentile_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert percentile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_names_and_reset(self):
+        registry = MetricsRegistry()
+        registry.increment("sent")
+        registry.gauge("fanout").set(1)
+        registry.observe("latency", 0.3)
+        names = registry.names()
+        assert names["counters"] == ["sent"]
+        assert names["gauges"] == ["fanout"]
+        assert names["histograms"] == ["latency"]
+        registry.reset()
+        assert registry.counter_total("sent") == 0
