@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+# Fast end-to-end check of the orchestration layer: parallel sweep, then the
+# same sweep again served from the cache.
+bench-smoke:
+	$(PYTHON) -m repro sweep smoke --param fanout --values 2,4 --workers 2
+	$(PYTHON) -m repro sweep smoke --param fanout --values 2,4 --workers 2
+
+clean-cache:
+	rm -rf .repro-cache .ci-cache

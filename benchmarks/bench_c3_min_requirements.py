@@ -11,8 +11,7 @@ asks about.
 
 from __future__ import annotations
 
-from common import BASE_CONFIG, attach_extra_info, print_results
-from repro.experiments import run_experiment
+from common import BASE_CONFIG, attach_extra_info, print_results, run_configs
 
 
 def run_floor_sweep():
@@ -24,18 +23,18 @@ def run_floor_sweep():
         drain_time=12.0,
         interest_model="zipf",
     )
-    results = []
     # (min_fanout, base_fanout): driving both to the bottom removes the
     # epidemic safety margin; a floor of 1 with a sensible base keeps it.
-    for min_fanout, base_fanout, max_fanout in [(0, 1, 2), (1, 2, 6), (1, 4, 12), (2, 4, 12)]:
-        config = base.with_overrides(
+    configs = [
+        base.with_overrides(
             min_fanout=min_fanout,
             fanout=base_fanout,
             max_fanout=max_fanout,
             name=f"c3/floor={min_fanout},base={base_fanout}",
         )
-        results.append(run_experiment(config))
-    return results
+        for min_fanout, base_fanout, max_fanout in [(0, 1, 2), (1, 2, 6), (1, 4, 12), (2, 4, 12)]
+    ]
+    return run_configs(configs)
 
 
 def test_c3_minimum_fanout_requirement(benchmark):

@@ -8,8 +8,7 @@ classic one at every churn level while remaining fairer.
 
 from __future__ import annotations
 
-from common import BASE_CONFIG, attach_extra_info, print_results
-from repro.experiments import run_experiment
+from common import BASE_CONFIG, attach_extra_info, print_results, run_configs
 
 
 CHURN_LEVELS = [0.0, 0.02, 0.05, 0.1]
@@ -25,16 +24,16 @@ def run_robustness():
         fanout=4,
         churn_up_probability=0.4,
     )
-    results = []
-    for system in ("gossip", "fair-gossip"):
-        for churn in CHURN_LEVELS:
-            config = base.with_overrides(
-                system=system,
-                churn_down_probability=churn,
-                name=f"c4/{system}/churn={churn}",
-            )
-            results.append(run_experiment(config))
-    return results
+    configs = [
+        base.with_overrides(
+            system=system,
+            churn_down_probability=churn,
+            name=f"c4/{system}/churn={churn}",
+        )
+        for system in ("gossip", "fair-gossip")
+        for churn in CHURN_LEVELS
+    ]
+    return run_configs(configs)
 
 
 def test_c4_robustness_under_churn_and_loss(benchmark):

@@ -10,15 +10,14 @@ gossip sits in between (great load balance, poor fairness).
 
 from __future__ import annotations
 
-from common import BASE_CONFIG, attach_extra_info, print_results
-from repro.experiments import compare
+from common import BASE_CONFIG, attach_extra_info, print_results, run_compare
 
 SYSTEMS = ["gossip", "fair-gossip", "pushpull-gossip", "scribe", "splitstream", "dks", "brokers", "dam"]
 
 
 def run_comparison():
     base = BASE_CONFIG.with_overrides(name="fig1", nodes=96, duration=20.0, drain_time=12.0)
-    return compare(base, SYSTEMS)
+    return run_compare(base, SYSTEMS)
 
 
 def test_fig1_fairness_ratio_comparison(benchmark):

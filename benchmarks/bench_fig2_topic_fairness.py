@@ -11,9 +11,8 @@ while under the classic protocol contribution is flat regardless of benefit.
 
 from __future__ import annotations
 
-from common import BASE_CONFIG, attach_extra_info, print_results
+from common import BASE_CONFIG, attach_extra_info, print_results, run_compare
 from repro.core import TOPIC_BASED_POLICY
-from repro.experiments import compare
 
 
 def rank_correlation(xs, ys):
@@ -49,7 +48,7 @@ def run_topic_fairness():
         duration=20.0,
         drain_time=12.0,
     )
-    results = compare(base, ["gossip", "fair-gossip"], keep_system=True)
+    results = run_compare(base, ["gossip", "fair-gossip"], keep_system=True)
     correlations = {}
     for result in results:
         ledger = result.system.ledger

@@ -10,8 +10,7 @@ and both together improve it the most, at unchanged delivery ratio.
 
 from __future__ import annotations
 
-from common import BASE_CONFIG, attach_extra_info, print_results
-from repro.experiments import run_experiment
+from common import BASE_CONFIG, attach_extra_info, print_results, run_configs
 
 
 def run_ablation():
@@ -31,7 +30,8 @@ def run_ablation():
         "payload-only": base.with_overrides(adapt_fanout=False, adapt_payload=True, name="fig3/payload-only"),
         "both": base.with_overrides(adapt_fanout=True, adapt_payload=True, name="fig3/both"),
     }
-    return {label: run_experiment(config) for label, config in variants.items()}
+    results = run_configs(list(variants.values()))
+    return dict(zip(variants, results))
 
 
 def test_fig3_expressive_fairness_levers(benchmark):

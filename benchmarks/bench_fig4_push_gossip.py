@@ -10,8 +10,7 @@ shrinks as F grows.
 
 from __future__ import annotations
 
-from common import BASE_CONFIG, attach_extra_info, print_results
-from repro.experiments import run_experiment, sweep
+from common import BASE_CONFIG, attach_extra_info, print_results, run_sweep
 
 
 def run_sweeps():
@@ -26,8 +25,8 @@ def run_sweeps():
         drain_time=15.0,
         publication_rate=2.0,
     )
-    fanout_results = sweep(base, "fanout", [1, 2, 3, 5, 8])
-    loss_results = sweep(
+    fanout_results = run_sweep(base, "fanout", [1, 2, 3, 5, 8])
+    loss_results = run_sweep(
         base.with_overrides(fanout=4, name="fig4-loss"), "loss_rate", [0.0, 0.05, 0.1, 0.2]
     )
     return fanout_results, loss_results

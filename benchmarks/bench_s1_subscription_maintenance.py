@@ -11,9 +11,8 @@ maintenance traffic of popular, churn-heavy topics; gossip systems spread it.
 
 from __future__ import annotations
 
-from common import BASE_CONFIG, attach_extra_info, print_results
+from common import BASE_CONFIG, attach_extra_info, print_results, run_compare
 from repro.core import gini_coefficient
-from repro.experiments import compare
 
 
 def run_subscription_churn():
@@ -27,7 +26,7 @@ def run_subscription_churn():
         publication_rate=1.0,
         subscription_churn_rate=6.0,
     )
-    results = compare(base, ["scribe", "dks", "gossip", "fair-gossip"], keep_system=True)
+    results = run_compare(base, ["scribe", "dks", "gossip", "fair-gossip"], keep_system=True)
     maintenance = {}
     for result in results:
         ledger = result.system.ledger

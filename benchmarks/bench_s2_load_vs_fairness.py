@@ -12,8 +12,7 @@ into a measurement.
 
 from __future__ import annotations
 
-from common import BASE_CONFIG, attach_extra_info, print_results
-from repro.experiments import compare
+from common import BASE_CONFIG, attach_extra_info, print_results, run_compare
 
 
 def run_skewed_comparison():
@@ -27,7 +26,7 @@ def run_skewed_comparison():
         duration=20.0,
         drain_time=12.0,
     )
-    return compare(base, ["splitstream", "gossip", "fair-gossip"])
+    return run_compare(base, ["splitstream", "gossip", "fair-gossip"])
 
 
 def test_s2_load_balancing_is_not_fairness(benchmark):

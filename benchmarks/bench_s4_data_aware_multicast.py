@@ -11,9 +11,8 @@ delegates per root.
 
 from __future__ import annotations
 
-from common import BASE_CONFIG, attach_extra_info, print_results
+from common import BASE_CONFIG, EXECUTOR, attach_extra_info, print_results
 from repro.core import EXPRESSIVE_POLICY
-from repro.experiments import run_experiment
 
 
 def run_dam(delegates_per_root: int):
@@ -28,7 +27,7 @@ def run_dam(delegates_per_root: int):
         drain_time=12.0,
         delegates_per_root=delegates_per_root,
     )
-    result = run_experiment(config, keep_system=True)
+    result = EXECUTOR.run(config, keep_system=True)
     system = result.system
     delegate_ids = {node for nodes in system.delegates().values() for node in nodes}
     contributions = EXPRESSIVE_POLICY.contributions(system.ledger)

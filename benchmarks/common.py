@@ -8,6 +8,17 @@ pointless because the runs are deterministic), print the table the paper
 would show, and attach the headline numbers to ``benchmark.extra_info`` so
 ``--benchmark-json`` captures them machine-readably.
 
+Multi-config benchmarks go through the shared
+:class:`~repro.experiments.executor.ParallelSweepExecutor` (``run_configs``
+/ ``run_sweep`` / ``run_compare`` below), so the whole suite picks up
+multiprocess fan-out and result caching from two environment variables:
+
+* ``REPRO_BENCH_WORKERS`` — worker processes per benchmark (default 1).
+  Results are bit-identical at any worker count.
+* ``REPRO_BENCH_CACHE_DIR`` — enable the on-disk result cache at this path.
+  Off by default: cache hits would make pytest-benchmark's timings
+  meaningless, so opt in only when iterating on table/assertion code.
+
 Benchmarks use smaller populations than a paper deployment would (hundreds
 of nodes, not tens of thousands) so the whole suite finishes in minutes;
 the *shape* of the comparisons is what is being reproduced, as explained in
@@ -18,31 +29,69 @@ from __future__ import annotations
 
 import sys
 import os
-from typing import Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 from repro.analysis.tables import Table  # noqa: E402
-from repro.experiments import ExperimentConfig, ExperimentResult  # noqa: E402
-
-__all__ = ["BASE_CONFIG", "print_results", "attach_extra_info", "Table", "ExperimentConfig"]
-
-#: Baseline scenario shared by most benchmarks: medium-sized system, Zipf
-#: topic popularity, heterogeneous (Zipf) interest, moderate traffic.
-BASE_CONFIG = ExperimentConfig(
-    name="base",
-    nodes=96,
-    topics=16,
-    topic_exponent=1.0,
-    interest_model="zipf",
-    max_topics_per_node=6,
-    publication_rate=4.0,
-    duration=25.0,
-    drain_time=15.0,
-    fanout=4,
-    gossip_size=8,
-    seed=2007,
+from repro.experiments import (  # noqa: E402
+    ExperimentConfig,
+    ExperimentResult,
+    ParallelSweepExecutor,
+    ResultCache,
+    get_scenario,
 )
+
+__all__ = [
+    "BASE_CONFIG",
+    "EXECUTOR",
+    "run_configs",
+    "run_sweep",
+    "run_compare",
+    "print_results",
+    "attach_extra_info",
+    "Table",
+    "ExperimentConfig",
+]
+
+#: Baseline scenario shared by most benchmarks (the registered "base"
+#: scenario): medium-sized system, Zipf topic popularity, heterogeneous
+#: (Zipf) interest, moderate traffic.
+BASE_CONFIG = get_scenario("base").config
+
+_cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR", "")
+
+#: Shared executor: every multi-config benchmark funnels through this, so
+#: worker count and caching are controlled in one place.
+EXECUTOR = ParallelSweepExecutor(
+    workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+    cache=ResultCache(_cache_dir) if _cache_dir else None,
+)
+
+
+def run_configs(
+    configs: Sequence[ExperimentConfig], keep_system: bool = False
+) -> List[ExperimentResult]:
+    """Run a list of configs through the shared executor, preserving order."""
+    return EXECUTOR.run_many(configs, keep_system=keep_system)
+
+
+def run_sweep(
+    base: ExperimentConfig,
+    parameter: str,
+    values: Sequence,
+    rename: Optional[Callable[[object], str]] = None,
+    keep_system: bool = False,
+) -> List[ExperimentResult]:
+    """Executor-backed replacement for :func:`repro.experiments.sweep`."""
+    return EXECUTOR.sweep(base, parameter, values, rename=rename, keep_system=keep_system)
+
+
+def run_compare(
+    base: ExperimentConfig, systems: Sequence[str], keep_system: bool = False
+) -> List[ExperimentResult]:
+    """Executor-backed replacement for :func:`repro.experiments.compare`."""
+    return EXECUTOR.compare(base, systems, keep_system=keep_system)
 
 
 def print_results(title: str, results: Sequence[ExperimentResult], extra_columns: Dict[str, Dict[str, object]] = None) -> None:

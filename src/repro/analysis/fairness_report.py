@@ -33,6 +33,33 @@ class NodeFairnessRow:
     forwarded_messages: int
     crashes: int
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "node_id": self.node_id,
+            "contribution": self.contribution,
+            "benefit": self.benefit,
+            "ratio": self.ratio,
+            "filters": self.filters,
+            "delivered": self.delivered,
+            "forwarded_messages": self.forwarded_messages,
+            "crashes": self.crashes,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "NodeFairnessRow":
+        """Rebuild a row from :meth:`to_dict` output."""
+        return NodeFairnessRow(
+            node_id=payload["node_id"],
+            contribution=payload["contribution"],
+            benefit=payload["benefit"],
+            ratio=payload["ratio"],
+            filters=int(payload["filters"]),
+            delivered=int(payload["delivered"]),
+            forwarded_messages=int(payload["forwarded_messages"]),
+            crashes=int(payload["crashes"]),
+        )
+
 
 @dataclass(frozen=True)
 class SystemFairnessSummary:
@@ -50,6 +77,25 @@ class SystemFairnessSummary:
     def zero_benefit_contributors(self) -> List[NodeFairnessRow]:
         """Nodes that contribute without benefiting (Scribe's interior nodes)."""
         return [row for row in self.per_node if row.benefit <= 0 and row.contribution > 0]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "system_name": self.system_name,
+            "policy_name": self.policy_name,
+            "report": self.report.to_dict(),
+            "per_node": [row.to_dict() for row in self.per_node],
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "SystemFairnessSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        return SystemFairnessSummary(
+            system_name=payload["system_name"],
+            policy_name=payload["policy_name"],
+            report=FairnessReport.from_dict(payload["report"]),
+            per_node=[NodeFairnessRow.from_dict(row) for row in payload.get("per_node", [])],
+        )
 
     def render(self, max_rows: int = 10) -> str:
         """Printable summary: aggregate indices plus the heaviest contributors."""

@@ -41,6 +41,23 @@ class EventReliability:
         """Whether every interested node delivered the event."""
         return self.delivered >= self.interested
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "event_id": self.event_id,
+            "interested": self.interested,
+            "delivered": self.delivered,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "EventReliability":
+        """Rebuild a per-event record from :meth:`to_dict` output."""
+        return EventReliability(
+            event_id=payload["event_id"],
+            interested=int(payload["interested"]),
+            delivered=int(payload["delivered"]),
+        )
+
 
 @dataclass(frozen=True)
 class ReliabilityReport:
@@ -66,6 +83,33 @@ class ReliabilityReport:
             "mean_rounds": self.mean_rounds,
             "p95_rounds": self.p95_rounds,
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "events": [entry.to_dict() for entry in self.events],
+            "delivery_ratio": self.delivery_ratio,
+            "complete_fraction": self.complete_fraction,
+            "mean_latency": self.mean_latency,
+            "p95_latency": self.p95_latency,
+            "max_latency": self.max_latency,
+            "mean_rounds": self.mean_rounds,
+            "p95_rounds": self.p95_rounds,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "ReliabilityReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return ReliabilityReport(
+            events=[EventReliability.from_dict(entry) for entry in payload.get("events", [])],
+            delivery_ratio=payload["delivery_ratio"],
+            complete_fraction=payload["complete_fraction"],
+            mean_latency=payload["mean_latency"],
+            p95_latency=payload["p95_latency"],
+            max_latency=payload["max_latency"],
+            mean_rounds=payload["mean_rounds"],
+            p95_rounds=payload["p95_rounds"],
+        )
 
 
 def measure_reliability(

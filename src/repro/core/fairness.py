@@ -52,8 +52,10 @@ def contribution_benefit_ratios(
     are simply absent from the system's economy); nodes that contribute with
     zero benefit get the finite cap so aggregate indices remain defined.
     """
+    # Sorted iteration keeps float-summation order (and hence results) stable
+    # across processes, where set order would follow the per-process hash seed.
     ratios: Dict[str, float] = {}
-    for node_id in set(contributions) | set(benefits):
+    for node_id in sorted(set(contributions) | set(benefits)):
         contribution = contributions.get(node_id, 0.0)
         benefit = benefits.get(node_id, 0.0)
         if benefit > 0:
@@ -82,7 +84,7 @@ def smoothed_ratios(
     if smoothing <= 0:
         raise ValueError("smoothing must be positive")
     ratios: Dict[str, float] = {}
-    for node_id in set(contributions) | set(benefits):
+    for node_id in sorted(set(contributions) | set(benefits)):
         contribution = contributions.get(node_id, 0.0)
         benefit = benefits.get(node_id, 0.0)
         ratios[node_id] = contribution / (benefit + smoothing)
@@ -226,6 +228,53 @@ class FairnessReport:
             "freeriders": float(self.freeriders),
             "exploited": float(self.exploited),
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "node_count": self.node_count,
+            "ratios": dict(self.ratios),
+            "smoothed": dict(self.smoothed),
+            "ratio_jain": self.ratio_jain,
+            "ratio_gini": self.ratio_gini,
+            "ratio_cv": self.ratio_cv,
+            "ratio_spread": self.ratio_spread,
+            "ratio_deviation": self.ratio_deviation,
+            "benefiting_ratio_jain": self.benefiting_ratio_jain,
+            "benefiting_ratio_spread": self.benefiting_ratio_spread,
+            "wasted_share": self.wasted_share,
+            "contribution_jain": self.contribution_jain,
+            "contribution_gini": self.contribution_gini,
+            "contribution_cv": self.contribution_cv,
+            "mean_contribution": self.mean_contribution,
+            "mean_benefit": self.mean_benefit,
+            "freeriders": self.freeriders,
+            "exploited": self.exploited,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "FairnessReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return FairnessReport(
+            node_count=int(payload["node_count"]),
+            ratios=dict(payload.get("ratios", {})),
+            smoothed=dict(payload.get("smoothed", {})),
+            ratio_jain=payload["ratio_jain"],
+            ratio_gini=payload["ratio_gini"],
+            ratio_cv=payload["ratio_cv"],
+            ratio_spread=payload["ratio_spread"],
+            ratio_deviation=payload["ratio_deviation"],
+            benefiting_ratio_jain=payload["benefiting_ratio_jain"],
+            benefiting_ratio_spread=payload["benefiting_ratio_spread"],
+            wasted_share=payload["wasted_share"],
+            contribution_jain=payload["contribution_jain"],
+            contribution_gini=payload["contribution_gini"],
+            contribution_cv=payload["contribution_cv"],
+            mean_contribution=payload["mean_contribution"],
+            mean_benefit=payload["mean_benefit"],
+            freeriders=int(payload["freeriders"]),
+            exploited=int(payload["exploited"]),
+        )
 
 
 def evaluate_fairness(

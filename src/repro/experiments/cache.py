@@ -1,0 +1,135 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every :class:`~repro.experiments.config.ExperimentConfig` hashes to a stable
+key (:func:`config_hash`), and a finished
+:class:`~repro.experiments.runner.ExperimentResult` is stored as canonical
+JSON under that key.  Because experiments are deterministic functions of
+their config (see ``docs/ARCHITECTURE.md``), a cache hit is
+indistinguishable from a recomputation — so repeated sweeps, benchmark
+re-runs, and CLI invocations skip every already-computed grid point.
+
+Key scheme
+----------
+``sha256("repro-result:v{SCHEMA}:{code_version}:" + canonical_json(config.to_dict()))``
+where canonical JSON uses sorted keys and no whitespace.  The hash covers
+*every* config field, including ``name``: the name feeds into table rows and
+the fairness summary, so two configs differing only by name produce
+different artifacts.  It also covers the package version
+(``repro.__version__``), so upgrading to a release with different numeric
+behavior orphans old artifacts instead of silently mixing old- and new-code
+numbers in one table.  Artifacts live at ``<dir>/<hash[:2]>/<hash>.json``
+to keep directories small.
+
+The cache directory defaults to ``.repro-cache`` under the current working
+directory and can be overridden with the ``REPRO_CACHE_DIR`` environment
+variable or explicitly in code / via the CLI's ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .. import __version__ as _CODE_VERSION
+from .config import ExperimentConfig
+from .runner import ExperimentResult
+
+__all__ = ["ARTIFACT_SCHEMA", "DEFAULT_CACHE_DIR", "config_hash", "ResultCache"]
+
+#: Version of the on-disk artifact layout; bump when ``to_dict`` output
+#: changes incompatibly.  Old artifacts then simply stop matching and are
+#: recomputed.
+ARTIFACT_SCHEMA = 1
+
+#: Directory used when neither the constructor nor ``REPRO_CACHE_DIR`` says
+#: otherwise.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def config_hash(config: ExperimentConfig) -> str:
+    """Stable content hash of a config plus the code version (the cache key)."""
+    canonical = json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
+    tagged = f"repro-result:v{ARTIFACT_SCHEMA}:{_CODE_VERSION}:{canonical}"
+    return hashlib.sha256(tagged.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Load and store experiment results keyed by config hash.
+
+    The cache is safe against corrupt or stale files: anything that fails to
+    parse or fails the schema check reads as a miss and is overwritten by the
+    next store.  Writes are atomic (temp file + rename) so two processes of a
+    parallel sweep racing on the same point cannot leave a torn artifact.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        resolved = directory or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.directory = Path(resolved)
+
+    def path_for(self, config: ExperimentConfig) -> Path:
+        """Artifact path a result for ``config`` would be stored at."""
+        key = config_hash(config)
+        return self.directory / key[:2] / f"{key}.json"
+
+    def load(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """Return the cached result for ``config``, or ``None`` on a miss."""
+        path = self.path_for(config)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != ARTIFACT_SCHEMA:
+            return None
+        try:
+            return ExperimentResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, result: ExperimentResult) -> Path:
+        """Persist ``result`` and return the artifact path."""
+        path = self.path_for(result.config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": ARTIFACT_SCHEMA,
+            "config_hash": config_hash(result.config),
+            "result": result.to_dict(),
+        }
+        encoded = json.dumps(payload, sort_keys=True, indent=2)
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(encoded)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entry_count(self) -> int:
+        """Number of artifacts currently stored."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,254 @@
+"""Command-line experiment orchestration: ``python -m repro ...``.
+
+Subcommands
+-----------
+``run``            run one named scenario (with optional field overrides)
+``sweep``          run a scenario across one parameter axis
+``compare``        run a scenario across several dissemination systems
+``list-scenarios`` show the named-scenario registry
+
+Every experiment-running subcommand shares the same orchestration options:
+``--workers`` fans uncached grid points out over worker processes,
+``--cache-dir``/``--no-cache`` control the content-addressed result cache,
+``--set field=value`` overrides any :class:`ExperimentConfig` field, and
+``--json`` writes the full result artifacts for downstream analysis.
+Because experiments are deterministic, ``--workers N`` produces
+bit-identical artifacts for every ``N``, and a repeated invocation is served
+entirely from the cache (reported in the trailing status line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import fields
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.tables import Table
+from .cache import ARTIFACT_SCHEMA, DEFAULT_CACHE_DIR, ResultCache
+from .config import ExperimentConfig
+from .executor import ParallelSweepExecutor
+from .runner import ExperimentResult
+from .scenarios import SYSTEM_NAMES, get_scenario, iter_scenarios
+from .sweeps import results_table
+
+__all__ = ["main", "build_parser"]
+
+_CONFIG_FIELDS = {config_field.name: config_field for config_field in fields(ExperimentConfig)}
+
+
+def parse_scalar(text: str):
+    """Parse a CLI value: int, then float, then bool, falling back to str."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    lowered = text.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    return text
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, object]:
+    """Turn repeated ``--set field=value`` options into config overrides."""
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects field=value, got {pair!r}")
+        name, _, raw = pair.partition("=")
+        name = name.strip()
+        if name not in _CONFIG_FIELDS:
+            raise SystemExit(
+                f"unknown config field {name!r}; known fields: {', '.join(sorted(_CONFIG_FIELDS))}"
+            )
+        overrides[name] = parse_scalar(raw.strip())
+    return overrides
+
+
+def _resolve_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Scenario plus common flags plus ``--set`` overrides, in that order."""
+    try:
+        config = get_scenario(args.scenario).config
+    except KeyError as error:
+        # str(KeyError) wraps the message in quotes; unwrap for clean CLI output.
+        raise SystemExit(error.args[0])
+    overrides: Dict[str, object] = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.nodes is not None:
+        overrides["nodes"] = args.nodes
+    if args.system is not None:
+        overrides["system"] = args.system
+    overrides.update(_parse_overrides(args.set or []))
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _build_executor(args: argparse.Namespace) -> ParallelSweepExecutor:
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return ParallelSweepExecutor(workers=args.workers, cache=cache)
+
+
+def _emit_results(
+    args: argparse.Namespace,
+    executor: ParallelSweepExecutor,
+    results: List[ExperimentResult],
+    title: str,
+) -> None:
+    """Print the result table and status line; optionally write the artifact."""
+    print(results_table(results, title=title).render())
+    if executor.last_report is not None:
+        print(executor.last_report.describe())
+    if args.json:
+        artifact = {
+            "schema": ARTIFACT_SCHEMA,
+            "results": [result.to_dict() for result in results],
+        }
+        parent = os.path.dirname(args.json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote {len(results)} result artifact(s) to {args.json}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _resolve_config(args)
+    executor = _build_executor(args)
+    results = executor.run_many([config])
+    _emit_results(args, executor, results, title=f"run — {config.name}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.param not in _CONFIG_FIELDS:
+        raise SystemExit(
+            f"unknown sweep parameter {args.param!r}; known fields: {', '.join(sorted(_CONFIG_FIELDS))}"
+        )
+    values = [parse_scalar(value) for value in args.values.split(",") if value != ""]
+    if not values:
+        raise SystemExit("--values must name at least one value")
+    config = _resolve_config(args)
+    executor = _build_executor(args)
+    results = executor.sweep(config, args.param, values, reseed=args.reseed)
+    _emit_results(
+        args, executor, results, title=f"sweep — {config.name} over {args.param}={values}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    systems = [system.strip() for system in args.systems.split(",") if system.strip()]
+    unknown = [system for system in systems if system not in SYSTEM_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown systems {unknown}; expected names from {list(SYSTEM_NAMES)}")
+    config = _resolve_config(args)
+    executor = _build_executor(args)
+    results = executor.compare(config, systems)
+    _emit_results(
+        args, executor, results, title=f"compare — {config.name} across {', '.join(systems)}"
+    )
+    return 0
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    table = Table(["name", "system", "nodes", "description"], title="registered scenarios")
+    for scenario in iter_scenarios():
+        table.add_row(
+            name=scenario.name,
+            system=scenario.config.system,
+            nodes=scenario.config.nodes,
+            description=scenario.description,
+        )
+    print(table.render())
+    return 0
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="base",
+        help="named scenario to start from (see list-scenarios; default: base)",
+    )
+    parser.add_argument("--workers", type=int, default=1, help="worker processes (default: 1)")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache directory (default: $REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    parser.add_argument("--json", default=None, metavar="PATH", help="write result artifacts as JSON")
+    parser.add_argument("--seed", type=int, default=None, help="override the master seed")
+    parser.add_argument("--nodes", type=int, default=None, help="override the node count")
+    parser.add_argument(
+        "--system", default=None, choices=SYSTEM_NAMES, help="override the dissemination system"
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        metavar="FIELD=VALUE",
+        help="override any ExperimentConfig field (repeatable)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, sweep, and compare fairness/reliability experiments "
+        "with multiprocess fan-out and a content-addressed result cache.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one scenario")
+    _add_common_options(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = subparsers.add_parser("sweep", help="sweep one parameter axis")
+    _add_common_options(sweep_parser)
+    sweep_parser.add_argument("--param", required=True, help="ExperimentConfig field to sweep")
+    sweep_parser.add_argument(
+        "--values", required=True, help="comma-separated values (parsed as int/float/bool/str)"
+    )
+    sweep_parser.add_argument(
+        "--reseed",
+        action="store_true",
+        help="derive a distinct deterministic seed per grid point",
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    compare_parser = subparsers.add_parser("compare", help="compare dissemination systems")
+    _add_common_options(compare_parser)
+    compare_parser.add_argument(
+        "--systems",
+        required=True,
+        help=f"comma-separated system names from {list(SYSTEM_NAMES)}",
+    )
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    list_parser = subparsers.add_parser("list-scenarios", help="show the scenario registry")
+    list_parser.set_defaults(handler=_cmd_list_scenarios)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` (and by the CLI smoke tests)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -10,8 +10,8 @@ benchmark files stay short and the parameters stay visible in one place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Mapping, Optional, Tuple
 
 __all__ = ["ExperimentConfig"]
 
@@ -104,6 +104,38 @@ class ExperimentConfig:
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Return a copy with some fields replaced (sweep helper)."""
         return replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form; inverse of :meth:`from_dict`.
+
+        The ``extra`` tuple-of-pairs is emitted as a list of ``[key, value]``
+        pairs (JSON has no tuples).  The canonical JSON encoding of this
+        dictionary is what the result cache hashes, so the mapping must stay
+        deterministic: plain field values only, no derived data.
+        """
+        payload: Dict[str, object] = {}
+        for config_field in fields(self):
+            value = getattr(self, config_field.name)
+            if config_field.name == "extra":
+                value = [[key, entry] for key, entry in value]
+            payload[config_field.name] = value
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` so stale cache artifacts written by
+        an incompatible schema fail loudly instead of being misread.
+        """
+        known = {config_field.name for config_field in fields(ExperimentConfig)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown config fields {sorted(unknown)}")
+        values = dict(payload)
+        if "extra" in values:
+            values["extra"] = tuple((key, entry) for key, entry in values["extra"])
+        return ExperimentConfig(**values)
 
     def extra_dict(self) -> Dict[str, object]:
         """The free-form extras as a dictionary."""

@@ -67,6 +67,37 @@ class ExperimentResult:
         row["total_messages"] = self.total_messages
         return row
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable artifact; inverse of :meth:`from_dict`.
+
+        The live ``system`` object is never serialized: a result loaded from
+        disk always carries ``system=None``, which is why cache-backed
+        executors recompute runs that need ``keep_system``.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "fairness": self.fairness.to_dict(),
+            "reliability": self.reliability.to_dict(),
+            "published_events": [event.to_dict() for event in self.published_events],
+            "interest": self.interest.to_dict(),
+            "total_messages": self.total_messages,
+            "total_deliveries": self.total_deliveries,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result (without the live system) from :meth:`to_dict` output."""
+        return ExperimentResult(
+            config=ExperimentConfig.from_dict(payload["config"]),
+            fairness=SystemFairnessSummary.from_dict(payload["fairness"]),
+            reliability=ReliabilityReport.from_dict(payload["reliability"]),
+            published_events=[Event.from_dict(entry) for entry in payload.get("published_events", [])],
+            interest=InterestAssignment.from_dict(payload["interest"]),
+            total_messages=float(payload["total_messages"]),
+            total_deliveries=int(payload["total_deliveries"]),
+            system=None,
+        )
+
 
 def run_experiment(config: ExperimentConfig, keep_system: bool = False) -> ExperimentResult:
     """Run one experiment described by ``config`` and return its measurements.

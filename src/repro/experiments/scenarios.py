@@ -10,6 +10,7 @@ population).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..brokers import BrokerSystem
@@ -45,6 +46,11 @@ __all__ = [
     "build_system",
     "resolve_policy",
     "SYSTEM_NAMES",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
 ]
 
 #: Names accepted by :func:`build_system`.
@@ -191,3 +197,177 @@ def build_system(
             delegates_per_root=config.delegates_per_root,
         )
     raise ValueError(f"unknown system {config.system!r}; expected one of {SYSTEM_NAMES}")
+
+
+# ---------------------------------------------------------------------------
+# Named-scenario registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, documented experiment configuration.
+
+    The registry gives the CLI (``python -m repro list-scenarios``) and the
+    benchmark suite a shared vocabulary of starting points; every scenario is
+    just an :class:`ExperimentConfig` plus a description of what it models.
+    """
+
+    name: str
+    description: str
+    config: ExperimentConfig
+
+
+_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str, config: ExperimentConfig, description: str = "", replace: bool = False
+) -> Scenario:
+    """Add a scenario to the registry (``replace`` guards against typos)."""
+    if name in _SCENARIOS and not replace:
+        raise ValueError(f"scenario {name!r} is already registered")
+    scenario = Scenario(name=name, description=description, config=config)
+    _SCENARIOS[name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name; raises with the known names on a miss."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known scenarios: {', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_SCENARIOS)
+
+
+def iter_scenarios() -> List[Scenario]:
+    """Registered scenarios, in registration order."""
+    return list(_SCENARIOS.values())
+
+
+#: Baseline shared by most benchmarks: medium-sized system, Zipf topic
+#: popularity, heterogeneous (Zipf) interest, moderate traffic.
+_BASE = ExperimentConfig(
+    name="base",
+    nodes=96,
+    topics=16,
+    topic_exponent=1.0,
+    interest_model="zipf",
+    max_topics_per_node=6,
+    publication_rate=4.0,
+    duration=25.0,
+    drain_time=15.0,
+    fanout=4,
+    gossip_size=8,
+    seed=2007,
+)
+
+register_scenario(
+    "base",
+    _BASE,
+    "Benchmark baseline: 96 nodes, 16 Zipf topics, skewed interest, moderate traffic",
+)
+register_scenario(
+    "smoke",
+    ExperimentConfig(
+        name="smoke",
+        nodes=24,
+        topics=6,
+        interest_model="zipf",
+        max_topics_per_node=4,
+        publication_rate=2.0,
+        duration=6.0,
+        drain_time=5.0,
+        fanout=3,
+        gossip_size=8,
+        seed=7,
+    ),
+    "Tiny fast run (24 nodes, ~1s) for CLI smoke tests and quick sanity checks",
+)
+register_scenario(
+    "fig1",
+    _BASE.with_overrides(name="fig1", duration=20.0, drain_time=12.0),
+    "Figure 1 workload: skewed interest for the cross-system fairness comparison",
+)
+register_scenario(
+    "fig2-topic",
+    _BASE.with_overrides(
+        name="fig2",
+        fairness_policy="topic",
+        interest_model="zipf",
+        max_topics_per_node=8,
+        nodes=80,
+        duration=20.0,
+        drain_time=12.0,
+    ),
+    "Figure 2 workload: topic-based policy, subscription counts spread 1..8",
+)
+register_scenario(
+    "fig3-expressive",
+    _BASE.with_overrides(
+        name="fig3",
+        system="fair-gossip",
+        interest_model="content",
+        topics_per_node=2,
+        fairness_policy="expressive",
+        nodes=80,
+        duration=20.0,
+        drain_time=12.0,
+    ),
+    "Figure 3 workload: content-based filters, fanout/payload fairness levers",
+)
+register_scenario(
+    "fig4-push",
+    _BASE.with_overrides(
+        name="fig4",
+        system="gossip",
+        interest_model="uniform",
+        topics_per_node=2,
+        topics=4,
+        nodes=128,
+        duration=15.0,
+        drain_time=15.0,
+        publication_rate=2.0,
+    ),
+    "Figure 4 workload: plain push gossip for fanout/loss reliability sweeps",
+)
+register_scenario(
+    "churn",
+    ExperimentConfig(
+        name="churn",
+        system="fair-gossip",
+        nodes=64,
+        topics=8,
+        duration=20.0,
+        drain_time=15.0,
+        publication_rate=2.0,
+        loss_rate=0.05,
+        churn_down_probability=0.03,
+        churn_up_probability=0.5,
+        fanout=4,
+        seed=13,
+    ),
+    "Stress run: fair gossip under 5% loss plus node churn (robustness check)",
+)
+register_scenario(
+    "subscription-churn",
+    ExperimentConfig(
+        name="sub-churn",
+        system="dks",
+        nodes=48,
+        topics=8,
+        duration=15.0,
+        drain_time=10.0,
+        publication_rate=1.0,
+        subscription_churn_rate=4.0,
+        seed=17,
+    ),
+    "Subscription maintenance workload on the DKS grouping (who pays for churn)",
+)

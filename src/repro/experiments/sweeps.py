@@ -2,20 +2,105 @@
 
 The paper's open questions are mostly of the form "how does X behave as Y
 varies" (reliability vs fanout, fairness vs interest skew, convergence vs
-churn).  :func:`sweep` runs one experiment per parameter value and collects
-the summary rows; :func:`compare` runs the same config across several
-systems, which is the shape of the Figure 1 comparison.
+churn).  This module has two halves:
+
+* **grid expansion** — :func:`sweep_configs`, :func:`compare_configs`, and
+  :func:`grid_configs` turn a base config plus a parameter grid into the
+  list of concrete :class:`ExperimentConfig` points, with optional per-point
+  seed derivation (:func:`repro.sim.rng.derive_seed`) so grid points are
+  statistically decorrelated yet fully deterministic;
+* **serial execution** — :func:`sweep` and :func:`compare` run those points
+  in-process, which is what small tests and examples want.
+
+For parallel execution and result caching over the same grids, use
+:class:`repro.experiments.executor.ParallelSweepExecutor`, which consumes
+the expansion helpers unchanged — so parallel runs execute exactly the same
+configs (and therefore produce bit-identical results) as serial ones.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..analysis.tables import Table
+from ..sim.rng import derive_seed
 from .config import ExperimentConfig
 from .runner import ExperimentResult, run_experiment
 
-__all__ = ["sweep", "compare", "results_table"]
+__all__ = [
+    "sweep",
+    "compare",
+    "results_table",
+    "sweep_configs",
+    "compare_configs",
+    "grid_configs",
+]
+
+
+def sweep_configs(
+    base: ExperimentConfig,
+    parameter: str,
+    values: Sequence,
+    rename: Optional[Callable[[object], str]] = None,
+    reseed: bool = False,
+) -> List[ExperimentConfig]:
+    """Expand one parameter axis into concrete configs.
+
+    The experiment name is suffixed with the value so rows stay identifiable
+    in tables; ``rename`` customises that suffix.  With ``reseed`` each point
+    gets ``seed=derive_seed(base.seed, point_name)`` instead of sharing the
+    base seed, decorrelating the points without losing determinism.  A sweep
+    *of* ``seed`` itself ignores ``reseed`` — the swept values are the seeds.
+    """
+    configs: List[ExperimentConfig] = []
+    for value in values:
+        label = rename(value) if rename is not None else str(value)
+        name = f"{base.name}/{parameter}={label}"
+        overrides = {parameter: value, "name": name}
+        if reseed and parameter != "seed":
+            overrides["seed"] = derive_seed(base.seed, name)
+        configs.append(base.with_overrides(**overrides))
+    return configs
+
+
+def compare_configs(base: ExperimentConfig, systems: Sequence[str]) -> List[ExperimentConfig]:
+    """Expand a cross-system comparison (the Figure 1 shape) into configs."""
+    return [
+        base.with_overrides(system=system, name=f"{base.name}/{system}")
+        for system in systems
+    ]
+
+
+def grid_configs(
+    base: ExperimentConfig,
+    parameters: Mapping[str, Sequence],
+    reseed: bool = False,
+) -> List[ExperimentConfig]:
+    """Expand a multi-axis cartesian grid into configs.
+
+    ``parameters`` maps field names to value lists; points are emitted in
+    row-major order of the mapping's iteration order, and each point's name
+    lists every coordinate (``base/f=2,loss_rate=0.1``).  ``reseed`` is
+    ignored when ``seed`` is itself a grid axis.
+    """
+    reseed = reseed and "seed" not in parameters
+    names = list(parameters)
+    configs: List[ExperimentConfig] = [base]
+    for parameter in names:
+        expanded: List[ExperimentConfig] = []
+        for config in configs:
+            for value in parameters[parameter]:
+                expanded.append(config.with_overrides(**{parameter: value}))
+        configs = expanded
+    finished: List[ExperimentConfig] = []
+    for config in configs:
+        label = ",".join(f"{parameter}={getattr(config, parameter)}" for parameter in names)
+        name = f"{base.name}/{label}"
+        overrides: Dict[str, object] = {"name": name}
+        if reseed:
+            overrides["seed"] = derive_seed(base.seed, name)
+        finished.append(config.with_overrides(**overrides))
+    return finished
 
 
 def sweep(
@@ -25,17 +110,11 @@ def sweep(
     rename: Optional[Callable[[object], str]] = None,
     keep_system: bool = False,
 ) -> List[ExperimentResult]:
-    """Run ``base`` once per value of ``parameter``.
-
-    The experiment name is suffixed with the value so rows stay identifiable
-    in tables; ``rename`` customises that suffix.
-    """
-    results: List[ExperimentResult] = []
-    for value in values:
-        label = rename(value) if rename is not None else str(value)
-        config = base.with_overrides(**{parameter: value, "name": f"{base.name}/{parameter}={label}"})
-        results.append(run_experiment(config, keep_system=keep_system))
-    return results
+    """Run ``base`` once per value of ``parameter``, serially in-process."""
+    return [
+        run_experiment(config, keep_system=keep_system)
+        for config in sweep_configs(base, parameter, values, rename=rename)
+    ]
 
 
 def compare(
@@ -44,11 +123,10 @@ def compare(
     keep_system: bool = False,
 ) -> List[ExperimentResult]:
     """Run the same scenario on several dissemination systems."""
-    results: List[ExperimentResult] = []
-    for system in systems:
-        config = base.with_overrides(system=system, name=f"{base.name}/{system}")
-        results.append(run_experiment(config, keep_system=keep_system))
-    return results
+    return [
+        run_experiment(config, keep_system=keep_system)
+        for config in compare_configs(base, systems)
+    ]
 
 
 def results_table(results: Sequence[ExperimentResult], title: str = "") -> Table:

@@ -18,6 +18,7 @@ from .filters import (
     NotFilter,
     OrFilter,
     TopicFilter,
+    filter_from_dict,
 )
 from .interfaces import DeliveryCallback, DeliveryLog, DeliveryRecord, DisseminationSystem
 from .matching import CountingContentIndex, MatchingEngine, TopicIndex
@@ -38,6 +39,7 @@ __all__ = [
     "MatchAllFilter",
     "MatchNoneFilter",
     "InterestFunction",
+    "filter_from_dict",
     "DeliveryCallback",
     "DeliveryLog",
     "DeliveryRecord",

@@ -57,6 +57,27 @@ class Event:
         """Return a single attribute value with an optional default."""
         return self.attributes.get(name, default)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "event_id": self.event_id,
+            "publisher": self.publisher,
+            "attributes": dict(self.attributes),
+            "published_at": self.published_at,
+            "size": self.size,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "Event":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return Event(
+            event_id=payload["event_id"],
+            publisher=payload["publisher"],
+            attributes=dict(payload.get("attributes", {})),
+            published_at=float(payload.get("published_at", 0.0)),
+            size=int(payload.get("size", 1)),
+        )
+
     def with_time(self, published_at: float) -> "Event":
         """Return a copy stamped with a publication time."""
         return Event(

@@ -32,6 +32,7 @@ __all__ = [
     "MatchAllFilter",
     "MatchNoneFilter",
     "InterestFunction",
+    "filter_from_dict",
 ]
 
 
@@ -45,6 +46,10 @@ class Filter:
 
     def matches(self, event: Event) -> bool:
         """Whether the event satisfies this filter."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; inverse of :func:`filter_from_dict`."""
         raise NotImplementedError
 
     @property
@@ -69,6 +74,9 @@ class TopicFilter(Filter):
 
     def matches(self, event: Event) -> bool:
         return event.attribute(TOPIC_ATTRIBUTE) == self.topic
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "topic", "topic": self.topic}
 
     @property
     def filter_id(self) -> str:
@@ -127,6 +135,19 @@ class AttributeCondition:
         """Human-readable form used in filter ids and reports."""
         return f"{self.attribute}{self.operator}{self.value!r}"
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (values must be JSON scalars)."""
+        return {"attribute": self.attribute, "operator": self.operator, "value": self.value}
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "AttributeCondition":
+        """Rebuild a condition from :meth:`to_dict` output."""
+        return AttributeCondition(
+            attribute=payload["attribute"],
+            operator=payload["operator"],
+            value=payload["value"],
+        )
+
 
 @dataclass(frozen=True)
 class ContentFilter(Filter):
@@ -145,6 +166,13 @@ class ContentFilter(Filter):
 
     def matches(self, event: Event) -> bool:
         return all(condition.holds_for(event) for condition in self.conditions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "content",
+            "name": self.name,
+            "conditions": [condition.to_dict() for condition in self.conditions],
+        }
 
     @property
     def filter_id(self) -> str:
@@ -170,6 +198,9 @@ class AndFilter(Filter):
     def matches(self, event: Event) -> bool:
         return all(child.matches(event) for child in self.children)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "and", "children": [child.to_dict() for child in self.children]}
+
     @property
     def filter_id(self) -> str:
         return "and(" + ",".join(child.filter_id for child in self.children) + ")"
@@ -190,6 +221,9 @@ class OrFilter(Filter):
 
     def matches(self, event: Event) -> bool:
         return any(child.matches(event) for child in self.children)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "or", "children": [child.to_dict() for child in self.children]}
 
     @property
     def filter_id(self) -> str:
@@ -216,6 +250,9 @@ class NotFilter(Filter):
     def matches(self, event: Event) -> bool:
         return not self.child.matches(event)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "not", "child": self.child.to_dict()}
+
     @property
     def filter_id(self) -> str:
         return f"not({self.child.filter_id})"
@@ -227,6 +264,9 @@ class MatchAllFilter(Filter):
 
     def matches(self, event: Event) -> bool:
         return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "all"}
 
     @property
     def filter_id(self) -> str:
@@ -240,9 +280,41 @@ class MatchNoneFilter(Filter):
     def matches(self, event: Event) -> bool:
         return False
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "none"}
+
     @property
     def filter_id(self) -> str:
         return "none"
+
+
+def filter_from_dict(payload: Mapping[str, Any]) -> Filter:
+    """Rebuild a filter from its :meth:`Filter.to_dict` form.
+
+    Used by the experiment result artifacts to round-trip interest
+    assignments through JSON.  Dispatches on the ``kind`` discriminator.
+    """
+    kind = payload.get("kind")
+    if kind == "topic":
+        return TopicFilter(topic=payload["topic"])
+    if kind == "content":
+        return ContentFilter(
+            conditions=tuple(
+                AttributeCondition.from_dict(condition) for condition in payload.get("conditions", ())
+            ),
+            name=payload.get("name", ""),
+        )
+    if kind == "and":
+        return AndFilter(children=tuple(filter_from_dict(child) for child in payload["children"]))
+    if kind == "or":
+        return OrFilter(children=tuple(filter_from_dict(child) for child in payload["children"]))
+    if kind == "not":
+        return NotFilter(child=filter_from_dict(payload["child"]))
+    if kind == "all":
+        return MatchAllFilter()
+    if kind == "none":
+        return MatchNoneFilter()
+    raise ValueError(f"unknown filter kind {kind!r}")
 
 
 class InterestFunction:

@@ -11,13 +11,18 @@ from __future__ import annotations
 __all__ = ["VirtualClock"]
 
 
+def _validated_start(start: float) -> float:
+    """Validate a clock start time; shared by ``__init__`` and ``reset``."""
+    if start < 0:
+        raise ValueError("start time must be non-negative")
+    return float(start)
+
+
 class VirtualClock:
     """Monotonically increasing simulated time."""
 
     def __init__(self, start: float = 0.0) -> None:
-        if start < 0:
-            raise ValueError("start time must be non-negative")
-        self._now = float(start)
+        self._now = _validated_start(start)
 
     @property
     def now(self) -> float:
@@ -41,9 +46,7 @@ class VirtualClock:
 
     def reset(self, start: float = 0.0) -> None:
         """Reset the clock, typically between independent simulation runs."""
-        if start < 0:
-            raise ValueError("start time must be non-negative")
-        self._now = float(start)
+        self._now = _validated_start(start)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VirtualClock(now={self._now!r})"

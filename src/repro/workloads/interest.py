@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..pubsub.filters import AttributeCondition, ContentFilter, Filter, TopicFilter
+from ..pubsub.filters import AttributeCondition, ContentFilter, Filter, TopicFilter, filter_from_dict
 from .popularity import TopicPopularity
 
 __all__ = [
@@ -70,6 +70,24 @@ class InterestAssignment:
             for subscription_filter in filters:
                 topics.update(subscription_filter.topics)
         return sorted(topics)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "filters_by_node": {
+                node_id: [subscription_filter.to_dict() for subscription_filter in filters]
+                for node_id, filters in sorted(self.filters_by_node.items())
+            }
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "InterestAssignment":
+        """Rebuild an assignment from :meth:`to_dict` output."""
+        filters_by_node = {
+            node_id: tuple(filter_from_dict(entry) for entry in filters)
+            for node_id, filters in payload["filters_by_node"].items()
+        }
+        return InterestAssignment(filters_by_node=filters_by_node)
 
 
 class UniformInterest:
