@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke clean-cache
+.PHONY: test bench bench-smoke bench-rt serve-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,5 +15,14 @@ bench-smoke:
 	$(PYTHON) -m repro sweep smoke --param fanout --values 2,4 --workers 2
 	$(PYTHON) -m repro sweep smoke --param fanout --values 2,4 --workers 2
 
+# Live-runtime throughput benchmark: writes BENCH_rt_throughput.json
+# (events/sec + delivery latency p50/p99 on the memory transport).
+bench-rt:
+	$(PYTHON) -m pytest benchmarks/bench_rt_throughput.py -q -s
+
+# Short live cluster run with the embedded load generator (memory transport).
+serve-smoke:
+	$(PYTHON) -m repro serve --nodes 25 --transport memory --duration 5
+
 clean-cache:
-	rm -rf .repro-cache .ci-cache
+	rm -rf .repro-cache .ci-cache BENCH_rt_throughput.json

@@ -5,7 +5,9 @@ Guerraoui, Koldehofe, Monod — ICDCS 2007): the selective information
 dissemination model, the basic push gossip algorithm of Figure 4, the
 fairness model of Figures 1–3, the fairness-adaptive gossip protocols the
 paper calls for, and the structured/broker baselines it compares against —
-all running on a deterministic discrete-event simulator.
+all running on a deterministic discrete-event simulator, and — via
+:mod:`repro.runtime` — live on real time and real transports (in-process,
+UDP, TCP) with the same protocol classes.
 
 Quickstart::
 

@@ -83,11 +83,11 @@ class ResultCache:
                 payload = json.load(handle)
         except (OSError, ValueError):
             return None
-        if payload.get("schema") != ARTIFACT_SCHEMA:
+        if not isinstance(payload, dict) or payload.get("schema") != ARTIFACT_SCHEMA:
             return None
         try:
             return ExperimentResult.from_dict(payload["result"])
-        except (KeyError, TypeError, ValueError):
+        except (KeyError, TypeError, ValueError, AttributeError):
             return None
 
     def store(self, result: ExperimentResult) -> Path:

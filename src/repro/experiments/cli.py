@@ -6,6 +6,12 @@ Subcommands
 ``sweep``          run a scenario across one parameter axis
 ``compare``        run a scenario across several dissemination systems
 ``list-scenarios`` show the named-scenario registry
+``serve``          run a *live* cluster on a real transport (asyncio runtime)
+``loadgen``        drive a live cluster at a target events/sec
+
+The first four orchestrate deterministic simulator experiments; ``serve``
+and ``loadgen`` run the same protocol stack on the live runtime
+(:mod:`repro.runtime.cli`) where time is wall-clock and transports are real.
 
 Every experiment-running subcommand shares the same orchestration options:
 ``--workers`` fans uncached grid points out over worker processes,
@@ -27,6 +33,7 @@ from dataclasses import fields
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.tables import Table
+from ..runtime.cli import add_runtime_subcommands
 from .cache import ARTIFACT_SCHEMA, DEFAULT_CACHE_DIR, ResultCache
 from .config import ExperimentConfig
 from .executor import ParallelSweepExecutor
@@ -57,6 +64,11 @@ def parse_scalar(text: str):
     return text
 
 
+#: Config fields whose values are not flat scalars and therefore cannot be
+#: expressed through ``--set field=value``.
+_NON_SCALAR_FIELDS = ("extra",)
+
+
 def _parse_overrides(pairs: Sequence[str]) -> Dict[str, object]:
     """Turn repeated ``--set field=value`` options into config overrides."""
     overrides: Dict[str, object] = {}
@@ -68,6 +80,10 @@ def _parse_overrides(pairs: Sequence[str]) -> Dict[str, object]:
         if name not in _CONFIG_FIELDS:
             raise SystemExit(
                 f"unknown config field {name!r}; known fields: {', '.join(sorted(_CONFIG_FIELDS))}"
+            )
+        if name in _NON_SCALAR_FIELDS:
+            raise SystemExit(
+                f"config field {name!r} is not scalar and cannot be set from the CLI"
             )
         overrides[name] = parse_scalar(raw.strip())
     return overrides
@@ -135,6 +151,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown sweep parameter {args.param!r}; known fields: {', '.join(sorted(_CONFIG_FIELDS))}"
         )
+    if args.param in _NON_SCALAR_FIELDS:
+        raise SystemExit(f"config field {args.param!r} is not scalar and cannot be swept")
     values = [parse_scalar(value) for value in args.values.split(",") if value != ""]
     if not values:
         raise SystemExit("--values must name at least one value")
@@ -239,6 +257,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = subparsers.add_parser("list-scenarios", help="show the scenario registry")
     list_parser.set_defaults(handler=_cmd_list_scenarios)
+
+    add_runtime_subcommands(subparsers)
 
     return parser
 

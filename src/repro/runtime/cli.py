@@ -1,0 +1,305 @@
+"""CLI subcommands for the live runtime: ``serve`` and ``loadgen``.
+
+``python -m repro serve`` brings up a live cluster on a chosen transport,
+drives it with an embedded load generator, and prints a live fairness report
+while it runs.  ``python -m repro loadgen`` runs the same cluster but
+focuses on load numbers: it prints (and optionally writes as JSON) the
+achieved events/sec, delivery latency percentiles, delivery ratio, and the
+fairness headline, which is what ``benchmarks/bench_rt_throughput.py``
+consumes.
+
+Both commands build the cluster from the same workload vocabulary as the
+simulator experiments (Zipf topic popularity, zipf/uniform/community/content
+interest models), so a live run and a simulated run of the same shape are
+directly comparable — the property the runtime-vs-simulator parity test
+checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from ..analysis.reliability import measure_reliability
+from ..membership.cyclon import cyclon_provider
+from ..membership.lpbcast import lpbcast_provider
+from ..sim.rng import RngRegistry
+from ..workloads.interest import (
+    AttributeInterest,
+    CommunityInterest,
+    InterestAssignment,
+    UniformInterest,
+    ZipfInterest,
+)
+from ..workloads.popularity import TopicPopularity
+from .host import DELIVERIES_METRIC, PUBLISHED_METRIC, NodeHost
+from .loadgen import LoadGenerator
+from .transport import MemoryTransport, TcpTransport, Transport, UdpTransport
+
+__all__ = ["add_runtime_subcommands", "build_live_cluster", "RUNTIME_ARTIFACT_SCHEMA"]
+
+TRANSPORT_NAMES = ("memory", "udp", "tcp")
+INTEREST_NAMES = ("zipf", "uniform", "community", "content")
+MEMBERSHIP_NAMES = ("cyclon", "lpbcast")
+
+#: Schema tag written into ``--json`` artifacts of the runtime commands.
+RUNTIME_ARTIFACT_SCHEMA = "rt-load/v1"
+
+
+def _build_transport(args: argparse.Namespace) -> Transport:
+    if args.transport == "memory":
+        return MemoryTransport()
+    if args.transport == "udp":
+        return UdpTransport(bind_host=args.bind_host, bind_port=args.bind_port)
+    if args.transport == "tcp":
+        return TcpTransport(bind_host=args.bind_host, bind_port=args.bind_port)
+    raise SystemExit(f"unknown transport {args.transport!r}; expected one of {TRANSPORT_NAMES}")
+
+
+def build_live_cluster(
+    args: argparse.Namespace,
+) -> Tuple[NodeHost, LoadGenerator, InterestAssignment]:
+    """Build (but do not start) a host, its load generator, and interests."""
+    transport = _build_transport(args)
+    provider = (
+        lpbcast_provider() if args.membership == "lpbcast" else cyclon_provider()
+    )
+    host = NodeHost(
+        transport,
+        seed=args.seed,
+        time_scale=args.time_scale,
+        membership_provider=provider,
+        node_kwargs={
+            "fanout": args.fanout,
+            "gossip_size": args.gossip_size,
+            "round_period": args.round_period,
+            # Live runs push far more events per time unit than the default
+            # simulator scenarios; size the buffer so an event survives its
+            # dissemination window instead of being evicted mid-spread, and
+            # spread forwarding effort evenly across buffered events ("newest"
+            # starves anything older than a round under heavy load).
+            "buffer_capacity": args.buffer_capacity,
+            "selection_strategy": args.selection_strategy,
+        },
+    )
+    node_ids = [f"node-{index:03d}" for index in range(args.nodes)]
+    host.add_nodes(node_ids)
+
+    if args.topic_exponent <= 0:
+        popularity = TopicPopularity.uniform(args.topics)
+    else:
+        popularity = TopicPopularity.zipf(args.topics, exponent=args.topic_exponent)
+    attribute_model: Optional[AttributeInterest] = None
+    if args.interest == "uniform":
+        interest_model = UniformInterest(popularity, topics_per_node=args.topics_per_node)
+    elif args.interest == "community":
+        interest_model = CommunityInterest(popularity, topics_per_node=args.topics_per_node)
+    elif args.interest == "content":
+        attribute_model = AttributeInterest(filters_per_node=args.topics_per_node)
+        interest_model = attribute_model
+    else:
+        interest_model = ZipfInterest(
+            popularity, min_topics=1, max_topics=args.max_topics_per_node
+        )
+    # Same stream name as the simulator runner, so a live cluster and a
+    # simulated run of the same seed get identical interest assignments.
+    interest_rng = RngRegistry(args.seed).stream("experiment-interest")
+    interest = interest_model.assign(node_ids, interest_rng)
+    interest.apply(host)
+
+    generator = LoadGenerator(
+        host,
+        rate=args.rate,
+        popularity=None if attribute_model is not None else popularity,
+        attribute_model=attribute_model,
+    )
+    return host, generator, interest
+
+
+def _write_artifact(path: str, artifact: Dict[str, object]) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+async def _run_live(args: argparse.Namespace, live_report: bool) -> Dict[str, object]:
+    host, generator, _ = build_live_cluster(args)
+    await host.start()
+    reporter: Optional[asyncio.Task] = None
+    if live_report:
+
+        async def report_loop() -> None:
+            started = asyncio.get_running_loop().time()
+            while True:
+                await asyncio.sleep(args.report_interval)
+                elapsed = asyncio.get_running_loop().time() - started
+                published = host.metrics.counter_value(PUBLISHED_METRIC)
+                deliveries = host.metrics.counter_value(DELIVERIES_METRIC)
+                fairness = host.fairness_summary().report
+                print(
+                    f"[serve +{elapsed:5.1f}s] published {published:8.0f} "
+                    f"({published / max(elapsed, 1e-9):7.0f} ev/s) | "
+                    f"deliveries {deliveries:9.0f} | "
+                    f"ratio Jain {fairness.ratio_jain:.3f} | "
+                    f"wasted share {fairness.wasted_share:.3f}",
+                    flush=True,
+                )
+
+        reporter = asyncio.get_running_loop().create_task(report_loop())
+
+    try:
+        load = await generator.run(args.duration)
+        if args.drain > 0:
+            await asyncio.sleep(args.drain)
+    finally:
+        if reporter is not None:
+            reporter.cancel()
+        await host.stop()
+
+    summary = host.fairness_summary(system_name=f"live/{args.transport}")
+    reliability = measure_reliability(
+        generator.schedule.events,
+        host.delivery_log,
+        host.subscriptions,
+        round_period=args.round_period,
+    )
+    # Latency and deliveries settle during the drain window; re-read them
+    # after the run and widen the delivery-rate window accordingly.
+    load.latency_seconds = generator.latency_summary_seconds()
+    load.deliveries = int(host.metrics.counter_value(DELIVERIES_METRIC))
+    load.drain_seconds = max(args.drain, 0.0)
+
+    print()
+    print(summary.render())
+    print()
+    print(load.describe())
+    print(
+        f"delivery ratio {reliability.delivery_ratio:.3f} | "
+        f"complete fraction {reliability.complete_fraction:.3f} | "
+        f"transport {args.transport} ({host.transport.frames_sent} frames, "
+        f"{host.transport.bytes_sent} bytes sent)"
+    )
+    return {
+        "schema": RUNTIME_ARTIFACT_SCHEMA,
+        "transport": args.transport,
+        "nodes": args.nodes,
+        "seed": args.seed,
+        "time_scale": args.time_scale,
+        "duration_seconds": args.duration,
+        "load": load.to_dict(),
+        "delivery_ratio": reliability.delivery_ratio,
+        "fairness": summary.report.to_dict(),
+        "frames_sent": host.transport.frames_sent,
+        "bytes_sent": host.transport.bytes_sent,
+    }
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    artifact = asyncio.run(_run_live(args, live_report=True))
+    if args.json:
+        _write_artifact(args.json, artifact)
+        print(f"wrote runtime artifact to {args.json}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    artifact = asyncio.run(_run_live(args, live_report=False))
+    if args.json:
+        _write_artifact(args.json, artifact)
+        print(f"wrote runtime artifact to {args.json}")
+    return 0
+
+
+def _add_common_runtime_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=25, help="cluster size (default: 25)")
+    parser.add_argument(
+        "--transport",
+        default="memory",
+        choices=TRANSPORT_NAMES,
+        help="frame carrier (default: memory)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=5.0, help="load duration in real seconds (default: 5)"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=1500.0, help="target publications per second (default: 1500)"
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=20.0,
+        help="protocol time units per real second; a round_period of 1.0 at "
+        "time-scale 20 is a 50ms gossip round (default: 20)",
+    )
+    parser.add_argument(
+        "--drain",
+        type=float,
+        default=1.0,
+        help="extra real seconds after the load stops so in-flight events settle",
+    )
+    parser.add_argument("--seed", type=int, default=2007, help="master seed (default: 2007)")
+    parser.add_argument("--topics", type=int, default=8, help="topic count (default: 8)")
+    parser.add_argument(
+        "--topic-exponent", type=float, default=1.0, help="Zipf exponent, 0 = uniform"
+    )
+    parser.add_argument(
+        "--interest", default="zipf", choices=INTEREST_NAMES, help="interest model (default: zipf)"
+    )
+    parser.add_argument("--topics-per-node", type=int, default=2)
+    parser.add_argument("--max-topics-per-node", type=int, default=4)
+    parser.add_argument("--fanout", type=int, default=5, help="gossip fanout F (default: 5)")
+    parser.add_argument(
+        "--gossip-size", type=int, default=24, help="events per gossip message N (default: 24)"
+    )
+    parser.add_argument(
+        "--buffer-capacity",
+        type=int,
+        default=4000,
+        help="per-node event buffer capacity (default: 4000)",
+    )
+    parser.add_argument(
+        "--selection-strategy",
+        default="least-forwarded",
+        choices=("random", "newest", "oldest", "least-forwarded"),
+        help="SELECTEVENTS strategy (default: least-forwarded)",
+    )
+    parser.add_argument(
+        "--round-period", type=float, default=1.0, help="gossip round length in time units"
+    )
+    parser.add_argument(
+        "--membership", default="cyclon", choices=MEMBERSHIP_NAMES, help="peer sampling service"
+    )
+    parser.add_argument("--bind-host", default="127.0.0.1", help="socket transports: bind host")
+    parser.add_argument(
+        "--bind-port", type=int, default=0, help="socket transports: bind port (0 = ephemeral)"
+    )
+    parser.add_argument("--json", default=None, metavar="PATH", help="write the run artifact")
+
+
+def add_runtime_subcommands(subparsers) -> None:
+    """Register ``serve`` and ``loadgen`` on the ``python -m repro`` parser."""
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run a live cluster on a real transport with an embedded load generator",
+    )
+    _add_common_runtime_options(serve_parser)
+    serve_parser.add_argument(
+        "--report-interval",
+        type=float,
+        default=1.0,
+        help="seconds between live fairness report lines (default: 1)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="drive a live cluster at a target events/sec and report throughput/latency",
+    )
+    _add_common_runtime_options(loadgen_parser)
+    loadgen_parser.set_defaults(handler=_cmd_loadgen)

@@ -1,0 +1,255 @@
+"""NodeHost: a set of protocol nodes running live in one process.
+
+The host is the runtime counterpart of
+:class:`~repro.gossip.system.GossipSystem`: it owns the wall clock, the
+asyncio scheduler, the runtime network, the shared ledger / delivery log /
+subscription table, and one protocol node per hosted participant.  The node
+classes are the *simulator's* node classes, unmodified — the host simply
+hands them an :class:`~repro.runtime.scheduler.AsyncScheduler` where they
+expect a ``Simulator`` and a :class:`~repro.runtime.network.RuntimeNetwork`
+where they expect a ``Network``.
+
+The host also answers the runtime's control frames, so a remote peer (for
+example a standalone load generator) can publish events and exchange
+subscriptions over the wire:
+
+* ``runtime.publish`` — publish the carried event from the addressed node;
+* ``runtime.subscribe`` / ``runtime.unsubscribe`` — add or remove the
+  carried filter on the addressed node.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..core.accounting import WorkLedger
+from ..core.policy import EXPRESSIVE_POLICY, FairnessPolicy
+from ..analysis.fairness_report import SystemFairnessSummary, summarise_fairness
+from ..gossip.push import PushGossipNode
+from ..membership.base import MembershipProvider
+from ..membership.cyclon import cyclon_provider
+from ..pubsub.events import Event, EventFactory
+from ..pubsub.filters import Filter
+from ..pubsub.interfaces import DeliveryCallback, DeliveryLog, DisseminationSystem
+from ..pubsub.subscriptions import SubscriptionTable
+from ..sim.metrics import MetricsRegistry
+from ..sim.node import ProcessRegistry
+from ..sim.rng import RngRegistry
+from .clock import WallClock
+from .network import RuntimeNetwork
+from .scheduler import AsyncScheduler
+from .transport import Transport
+from .wire import PUBLISH_KIND, SUBSCRIBE_KIND, UNSUBSCRIBE_KIND
+
+__all__ = ["NodeHost"]
+
+#: Metric names the host maintains in its registry.
+DELIVERY_LATENCY_METRIC = "rt.delivery_latency_units"
+DELIVERIES_METRIC = "rt.deliveries"
+PUBLISHED_METRIC = "rt.published"
+
+
+class NodeHost(DisseminationSystem):
+    """Runs simulator-facing gossip nodes on real time and a real transport.
+
+    Parameters
+    ----------
+    transport:
+        Frame carrier (memory, UDP, or TCP).
+    seed:
+        Master seed for the protocol RNG streams (peer/event selection stays
+        seeded; message *timing* is wall-clock and therefore not replayable).
+    time_scale:
+        Time units per real second (see :class:`~repro.runtime.clock.WallClock`).
+    node_class / node_kwargs / membership_provider:
+        Exactly as in :class:`~repro.gossip.system.GossipSystem`.
+    """
+
+    name = "live-gossip"
+
+    def __init__(
+        self,
+        transport: Transport,
+        seed: int = 0,
+        time_scale: float = 1.0,
+        node_class: Type[PushGossipNode] = PushGossipNode,
+        node_kwargs: Optional[Dict] = None,
+        membership_provider: Optional[MembershipProvider] = None,
+        ledger: Optional[WorkLedger] = None,
+        delivery_log: Optional[DeliveryLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.clock = WallClock(time_scale=time_scale)
+        self.scheduler = AsyncScheduler(self.clock, RngRegistry(seed))
+        self.network = RuntimeNetwork(self.scheduler, transport)
+        self.network.control_handler = self._handle_control
+        self.ledger = ledger if ledger is not None else WorkLedger()
+        self._delivery_log = delivery_log if delivery_log is not None else DeliveryLog()
+        self.subscriptions = SubscriptionTable()
+        self.registry = ProcessRegistry()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.nodes: Dict[str, PushGossipNode] = {}
+        self._factories: Dict[str, EventFactory] = {}
+        self._node_class = node_class
+        self._node_kwargs = dict(node_kwargs or {})
+        self._provider = (
+            membership_provider if membership_provider is not None else cyclon_provider()
+        )
+        self._started = False
+
+    # --------------------------------------------------------------- wiring
+
+    @property
+    def transport(self) -> Transport:
+        """The transport underneath this host."""
+        return self.network.transport
+
+    @property
+    def delivery_log(self) -> DeliveryLog:
+        return self._delivery_log
+
+    def node_ids(self) -> List[str]:
+        return sorted(self.nodes)
+
+    def node(self, node_id: str) -> PushGossipNode:
+        """Return the node object for ``node_id``."""
+        return self.nodes[node_id]
+
+    def add_node(
+        self,
+        node_id: str,
+        node_class: Optional[Type[PushGossipNode]] = None,
+        **overrides,
+    ) -> PushGossipNode:
+        """Create (but do not start) one hosted node."""
+        if node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node_id!r}")
+        kwargs = dict(self._node_kwargs)
+        kwargs.update(overrides)
+        cls = node_class if node_class is not None else self._node_class
+        node = cls(
+            node_id,
+            self.scheduler,
+            self.network,
+            membership_provider=self._provider,
+            ledger=self.ledger,
+            delivery_log=self._delivery_log,
+            **kwargs,
+        )
+        node.add_delivery_callback(self._record_delivery)
+        self.nodes[node_id] = node
+        self.registry.add(node)
+        self._factories[node_id] = EventFactory(node_id)
+        return node
+
+    def add_nodes(self, node_ids: Sequence[str], **overrides) -> None:
+        """Create several nodes in one call."""
+        for node_id in node_ids:
+            self.add_node(node_id, **overrides)
+
+    def bootstrap(self, degree: int = 10) -> None:
+        """Give every node a random set of initial contacts."""
+        ids = list(self.nodes)
+        rng = self.scheduler.rng.stream("bootstrap")
+        for node_id, node in self.nodes.items():
+            others = [candidate for candidate in ids if candidate != node_id]
+            seeds = others if degree >= len(others) else rng.sample(others, degree)
+            node.bootstrap(seeds)
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self, bootstrap_degree: int = 10) -> None:
+        """Start the transport, bootstrap membership, and start every node."""
+        if self._started:
+            return
+        await self.transport.start()
+        self.bootstrap(bootstrap_degree)
+        for node in self.nodes.values():
+            node.start()
+        self._started = True
+
+    async def stop(self) -> None:
+        """Stop all timers and tear the transport down."""
+        if not self._started:
+            return
+        self._started = False
+        self.scheduler.shutdown()
+        await self.transport.stop()
+
+    async def run_for(self, seconds: float) -> None:
+        """Let the cluster run for ``seconds`` of real time."""
+        await asyncio.sleep(seconds)
+
+    # ----------------------------------------------------------- operations
+
+    def publish(self, publisher_id: str, event: Optional[Event] = None, **attributes) -> Event:
+        """Publish an event from ``publisher_id`` (same API as GossipSystem)."""
+        if event is None:
+            factory = self._factories[publisher_id]
+            topic = attributes.pop("topic", None)
+            size = attributes.pop("size", 1)
+            event = factory.create(attributes=attributes, topic=topic, size=size)
+        event = event.with_time(self.scheduler.now)
+        self.nodes[publisher_id].publish(event)
+        self.metrics.increment(PUBLISHED_METRIC)
+        return event
+
+    def subscribe(
+        self,
+        node_id: str,
+        subscription_filter: Filter,
+        callbacks: Sequence[DeliveryCallback] = (),
+    ) -> None:
+        node = self.nodes[node_id]
+        if node.subscribe(subscription_filter):
+            self.subscriptions.subscribe(
+                node_id, subscription_filter, timestamp=self.scheduler.now
+            )
+        for callback in callbacks:
+            node.add_delivery_callback(callback)
+
+    def unsubscribe(self, node_id: str, subscription_filter: Filter) -> None:
+        node = self.nodes[node_id]
+        if node.unsubscribe(subscription_filter):
+            self.subscriptions.unsubscribe(
+                node_id, subscription_filter, timestamp=self.scheduler.now
+            )
+
+    # -------------------------------------------------------------- control
+
+    def _handle_control(self, message) -> None:
+        """Apply a ``runtime.*`` control frame addressed to a hosted node."""
+        if message.recipient not in self.nodes:
+            return
+        if message.kind == PUBLISH_KIND:
+            self.publish(message.recipient, event=message.payload)
+        elif message.kind == SUBSCRIBE_KIND:
+            self.subscribe(message.recipient, message.payload)
+        elif message.kind == UNSUBSCRIBE_KIND:
+            self.unsubscribe(message.recipient, message.payload)
+
+    # -------------------------------------------------------------- metrics
+
+    def _record_delivery(self, node_id: str, event: Event) -> None:
+        latency_units = max(0.0, self.scheduler.now - event.published_at)
+        self.metrics.observe(DELIVERY_LATENCY_METRIC, latency_units)
+        self.metrics.increment(DELIVERIES_METRIC)
+
+    # -------------------------------------------------------------- queries
+
+    def interested_nodes(self, event: Event) -> List[str]:
+        """Oracle: which nodes should deliver this event (from the table)."""
+        return self.subscriptions.interested_nodes(event)
+
+    def topics_of(self, node_id: str) -> List[str]:
+        """Topics a node is subscribed to (per the subscription table)."""
+        return self.subscriptions.topics_of_node(node_id)
+
+    def fairness_summary(
+        self, policy: FairnessPolicy = EXPRESSIVE_POLICY, system_name: Optional[str] = None
+    ) -> SystemFairnessSummary:
+        """Fairness summary of everything recorded so far (live-readable)."""
+        return summarise_fairness(
+            self.ledger, policy=policy, system_name=system_name or self.name
+        )

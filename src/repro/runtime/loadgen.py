@@ -1,0 +1,218 @@
+"""Load generation for live clusters.
+
+The :class:`LoadGenerator` drives publications into a
+:class:`~repro.runtime.host.NodeHost` at a target events-per-second, reusing
+the simulator's workload models for *what* gets published (Zipf topic
+popularity via :class:`~repro.workloads.popularity.TopicPopularity`, or the
+content-based attribute space of
+:class:`~repro.workloads.interest.AttributeInterest`) while pacing *when* on
+the wall clock.  Pacing uses catch-up ticks: each tick publishes however
+many events the target rate says should have been published by now, so a
+slow tick is repaid on the next one instead of silently lowering the rate.
+
+Throughput and latency land in the host's
+:class:`~repro.sim.metrics.MetricsRegistry` (the same primitives the
+simulator uses), and the published events are recorded in a
+:class:`~repro.workloads.publications.PublicationSchedule` so the existing
+reliability analysis works on live runs unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.metrics import HistogramSummary
+from ..workloads.interest import AttributeInterest
+from ..workloads.popularity import TopicPopularity
+from ..workloads.publications import PublicationSchedule
+from .host import DELIVERIES_METRIC, DELIVERY_LATENCY_METRIC, NodeHost
+
+__all__ = ["LoadGenerator", "LoadReport"]
+
+
+class LoadReport:
+    """Measured throughput and latency of one load-generation run."""
+
+    def __init__(
+        self,
+        offered_rate: float,
+        published: int,
+        elapsed_seconds: float,
+        deliveries: int,
+        latency_seconds: HistogramSummary,
+        drain_seconds: float = 0.0,
+    ) -> None:
+        self.offered_rate = offered_rate
+        self.published = published
+        self.elapsed_seconds = elapsed_seconds
+        self.deliveries = deliveries
+        self.latency_seconds = latency_seconds
+        #: Extra settle time after the load stopped.  Publication throughput
+        #: is measured over the load window alone, but deliveries recorded
+        #: during the drain belong to that load, so the delivery-rate
+        #: denominator includes it.
+        self.drain_seconds = drain_seconds
+
+    @property
+    def events_per_second(self) -> float:
+        """Achieved publication throughput (events per real second)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.published / self.elapsed_seconds
+
+    @property
+    def deliveries_per_second(self) -> float:
+        """Achieved delivery throughput (deliveries per real second)."""
+        window = self.elapsed_seconds + self.drain_seconds
+        if window <= 0:
+            return 0.0
+        return self.deliveries / window
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by the CLI and the benchmark)."""
+        return {
+            "offered_rate": self.offered_rate,
+            "published": self.published,
+            "elapsed_seconds": self.elapsed_seconds,
+            "events_per_second": self.events_per_second,
+            "deliveries": self.deliveries,
+            "deliveries_per_second": self.deliveries_per_second,
+            "latency_p50_seconds": self.latency_seconds.p50,
+            "latency_p95_seconds": self.latency_seconds.p95,
+            "latency_p99_seconds": self.latency_seconds.p99,
+            "latency_mean_seconds": self.latency_seconds.mean,
+        }
+
+    def describe(self) -> str:
+        """One status line for the CLI."""
+        latency = self.latency_seconds
+        return (
+            f"offered {self.offered_rate:.0f} ev/s | achieved {self.events_per_second:.0f} ev/s "
+            f"({self.published} events in {self.elapsed_seconds:.2f}s) | "
+            f"{self.deliveries} deliveries ({self.deliveries_per_second:.0f}/s) | "
+            f"latency p50 {latency.p50 * 1000:.1f}ms p99 {latency.p99 * 1000:.1f}ms"
+        )
+
+
+class LoadGenerator:
+    """Publishes events into a live host at a target real-time rate.
+
+    Parameters
+    ----------
+    host:
+        The cluster to drive.
+    rate:
+        Target publications per real second.
+    popularity:
+        Topic model for topic-based events (mutually exclusive with
+        ``attribute_model``).
+    attribute_model:
+        Content-based attribute space; when given, events carry attributes
+        instead of topics.
+    publishers:
+        Node ids allowed to publish (defaults to every hosted node),
+        round-robin.
+    tick_seconds:
+        Pacing granularity; smaller ticks smooth the arrival process at the
+        cost of more loop wakeups.
+    """
+
+    def __init__(
+        self,
+        host: NodeHost,
+        rate: float,
+        popularity: Optional[TopicPopularity] = None,
+        attribute_model: Optional[AttributeInterest] = None,
+        publishers: Optional[Sequence[str]] = None,
+        event_size: int = 1,
+        tick_seconds: float = 0.02,
+        rng_name: str = "runtime-loadgen",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if popularity is not None and attribute_model is not None:
+            raise ValueError("pass either popularity or attribute_model, not both")
+        if tick_seconds <= 0:
+            raise ValueError("tick_seconds must be positive")
+        self.host = host
+        self.rate = float(rate)
+        self.popularity = popularity
+        self.attribute_model = attribute_model
+        self.publishers = list(publishers) if publishers else None
+        self.event_size = event_size
+        self.tick_seconds = tick_seconds
+        self.schedule = PublicationSchedule()
+        self._rng_name = rng_name
+        self._publisher_index = 0
+        self._last_report: Optional[LoadReport] = None
+
+    # ---------------------------------------------------------------- drive
+
+    async def run(self, duration_seconds: float) -> LoadReport:
+        """Publish at the target rate for ``duration_seconds`` of real time."""
+        if duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        publishers = self.publishers or self.host.node_ids()
+        if not publishers:
+            raise ValueError("the host has no nodes to publish from")
+        deliveries_before = self.host.metrics.counter_value(DELIVERIES_METRIC)
+        started = time.monotonic()
+        published = 0
+        target_total = self.rate * duration_seconds
+        while True:
+            elapsed = time.monotonic() - started
+            if elapsed >= duration_seconds:
+                break
+            due = min(int(self.rate * elapsed), int(target_total)) - published
+            for _ in range(max(due, 0)):
+                self._publish_one(publishers)
+                published += 1
+            await asyncio.sleep(self.tick_seconds)
+        elapsed = time.monotonic() - started
+        deliveries = self.host.metrics.counter_value(DELIVERIES_METRIC) - deliveries_before
+        self._last_report = LoadReport(
+            offered_rate=self.rate,
+            published=published,
+            elapsed_seconds=elapsed,
+            deliveries=int(deliveries),
+            latency_seconds=self.latency_summary_seconds(),
+        )
+        return self._last_report
+
+    def _publish_one(self, publishers: Sequence[str]) -> None:
+        rng = self.host.scheduler.rng.stream(self._rng_name)
+        publisher = publishers[self._publisher_index % len(publishers)]
+        self._publisher_index += 1
+        if self.attribute_model is not None:
+            attributes = self.attribute_model.random_event_attributes(rng)
+            event = self.host.publish(publisher, **attributes)
+        elif self.popularity is not None:
+            topic = self.popularity.sample(rng)
+            event = self.host.publish(publisher, topic=topic, size=self.event_size)
+        else:
+            event = self.host.publish(publisher, topic="default", size=self.event_size)
+        self.schedule.add(event)
+
+    # -------------------------------------------------------------- reports
+
+    @property
+    def last_report(self) -> Optional[LoadReport]:
+        """The report of the most recent :meth:`run` (None before the first)."""
+        return self._last_report
+
+    def latency_summary_seconds(self) -> HistogramSummary:
+        """Delivery latency summary converted from time units to seconds."""
+        units = self.host.metrics.histogram_summary(DELIVERY_LATENCY_METRIC)
+        convert = self.host.clock.units_to_seconds
+        return HistogramSummary(
+            count=units.count,
+            mean=convert(units.mean),
+            minimum=convert(units.minimum),
+            maximum=convert(units.maximum),
+            stddev=convert(units.stddev),
+            p50=convert(units.p50),
+            p95=convert(units.p95),
+            p99=convert(units.p99),
+        )

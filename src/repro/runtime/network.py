@@ -1,0 +1,161 @@
+"""Live message fabric with the simulator network's interface.
+
+:class:`RuntimeNetwork` implements the surface of
+:class:`~repro.sim.network.Network` that processes and membership components
+touch (``register`` / ``set_alive`` / ``send`` / ``alive_nodes`` / stats /
+delivery hooks), but instead of scheduling a delivery on the event queue it
+encodes the message with the wire codec and hands the frame to a
+:class:`~repro.runtime.transport.Transport`.  Latency is whatever the
+transport and the kernel provide; loss is whatever the wire loses — the
+simulator's latency/loss *models* have no live counterpart by design.
+
+Control frames (kinds starting with ``runtime.``) are routed to the host's
+control handler instead of a node, which is how remote publish and
+subscription exchanges enter a live cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
+
+from ..sim.network import Message, NetworkStats
+from .scheduler import AsyncScheduler
+from .transport import Transport
+from .wire import WireError, decode_message, encode_message
+
+__all__ = ["RuntimeNetwork", "CONTROL_PREFIX"]
+
+#: Message kinds owned by the runtime itself rather than a protocol node.
+CONTROL_PREFIX = "runtime."
+
+
+class RuntimeNetwork:
+    """Connects live processes through a transport.
+
+    Parameters
+    ----------
+    scheduler:
+        Supplies ``now`` for send timestamps (the ``simulator`` the hosted
+        processes see).
+    transport:
+        Frame carrier; the network registers itself as its receiver.
+    """
+
+    def __init__(self, scheduler: AsyncScheduler, transport: Transport) -> None:
+        self._scheduler = scheduler
+        self._transport = transport
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._alive: Set[str] = set()
+        self.stats = NetworkStats()
+        self.decode_errors = 0
+        self._delivery_hooks: list = []
+        #: Installed by the host; receives decoded ``runtime.*`` messages.
+        self.control_handler: Optional[Callable[[Message], None]] = None
+        transport.set_receiver(self._on_frame)
+
+    # --------------------------------------------------------------- wiring
+
+    @property
+    def simulator(self) -> AsyncScheduler:
+        """The scheduler driving the hosted processes."""
+        return self._scheduler
+
+    @property
+    def transport(self) -> Transport:
+        """The frame carrier underneath this network."""
+        return self._transport
+
+    def register(self, node_id: str, handler: Callable[[Message], None]) -> None:
+        """Attach a process; it becomes reachable and alive."""
+        self._handlers[node_id] = handler
+        self._alive.add(node_id)
+        self._transport.register_node(node_id)
+
+    def unregister(self, node_id: str) -> None:
+        """Detach a process completely."""
+        self._handlers.pop(node_id, None)
+        self._alive.discard(node_id)
+
+    def set_alive(self, node_id: str, alive: bool) -> None:
+        """Mark a registered process up or down without unregistering it."""
+        if node_id not in self._handlers:
+            raise KeyError(f"unknown node {node_id!r}")
+        if alive:
+            self._alive.add(node_id)
+        else:
+            self._alive.discard(node_id)
+
+    def is_alive(self, node_id: str) -> bool:
+        """Whether the local node is currently able to receive messages."""
+        return node_id in self._alive
+
+    def known_nodes(self) -> Set[str]:
+        """All locally registered node identifiers."""
+        return set(self._handlers)
+
+    def alive_nodes(self) -> Set[str]:
+        """Identifiers of local nodes currently alive."""
+        return set(self._alive)
+
+    def add_delivery_hook(self, hook: Callable[[Message, float], None]) -> None:
+        """Register a callback invoked as ``hook(message, delivered_at)``."""
+        self._delivery_hooks.append(hook)
+
+    # --------------------------------------------------------------- sending
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any = None,
+        size: int = 1,
+    ) -> Message:
+        """Encode a message and hand it to the transport."""
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            size=size,
+            sent_at=self._scheduler.now,
+        )
+        self.stats.record_sent(message)
+        body = encode_message(message)
+        if not self._transport.send(recipient, body):
+            self.stats.dropped_dead += 1
+        return message
+
+    def broadcast(
+        self, sender: str, recipients: Iterable[str], kind: str, payload: Any = None, size: int = 1
+    ) -> Tuple[Message, ...]:
+        """Send the same payload to several recipients (one message each)."""
+        return tuple(
+            self.send(sender, recipient, kind, payload=payload, size=size)
+            for recipient in recipients
+        )
+
+    # ------------------------------------------------------------- receiving
+
+    def _on_frame(self, body: bytes) -> None:
+        try:
+            message = decode_message(body)
+        except WireError:
+            self.decode_errors += 1
+            return
+        self._deliver(message)
+
+    def _deliver(self, message: Message) -> None:
+        if message.kind.startswith(CONTROL_PREFIX):
+            if self.control_handler is not None:
+                self.control_handler(message)
+            return
+        handler = self._handlers.get(message.recipient)
+        if handler is None or message.recipient not in self._alive:
+            self.stats.dropped_dead += 1
+            return
+        self.stats.delivered += 1
+        now = self._scheduler.now
+        for hook in self._delivery_hooks:
+            hook(message, now)
+        handler(message)

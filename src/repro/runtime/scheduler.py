@@ -1,0 +1,201 @@
+"""Asyncio-backed scheduler with the simulator's scheduling surface.
+
+Protocol code (``Process`` subclasses, membership components, gossip nodes)
+interacts with the engine exclusively through ``simulator.now``,
+``simulator.rng``, ``simulator.schedule*``, and the returned timer handles.
+:class:`AsyncScheduler` implements exactly that surface on top of a running
+asyncio event loop, so the simulator-facing protocol classes run live
+without modification: a :class:`~repro.runtime.clock.WallClock` supplies
+``now``, timer delays are converted from time units to real seconds, and
+jitter is drawn from the same ``"periodic-timers"`` RNG stream the
+discrete-event engine uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional, Set
+
+from ..sim.engine import SimulationError
+from ..sim.rng import RngRegistry
+from .clock import WallClock
+
+__all__ = ["AsyncScheduler", "AsyncScheduledEvent", "AsyncPeriodicTimer"]
+
+
+class AsyncScheduledEvent:
+    """Handle for a one-shot scheduled callback (mirrors ``ScheduledEvent``)."""
+
+    def __init__(self, timestamp: float, label: str = "") -> None:
+        self.timestamp = timestamp
+        self.label = label
+        self.cancelled = False
+        self._handle: Optional[asyncio.TimerHandle] = None
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+
+class AsyncScheduler:
+    """Duck-typed stand-in for :class:`~repro.sim.engine.Simulator`.
+
+    Parameters
+    ----------
+    clock:
+        The wall clock mapping time units onto real time.
+    rng:
+        Named random streams, exactly as in the simulator; protocol draws
+        stay seeded and reproducible even though message timing is not.
+    """
+
+    def __init__(self, clock: WallClock, rng: Optional[RngRegistry] = None, seed: int = 0) -> None:
+        self.clock = clock
+        self.rng = rng if rng is not None else RngRegistry(seed)
+        self._events: Set[AsyncScheduledEvent] = set()
+        self._timers: Set["AsyncPeriodicTimer"] = set()
+        self._processed = 0
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current time in time units (wall-clock driven)."""
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of scheduled callbacks executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> AsyncScheduledEvent:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        loop = asyncio.get_running_loop()
+        event = AsyncScheduledEvent(timestamp=self.now + delay, label=label)
+
+        def fire() -> None:
+            self._events.discard(event)
+            if event.cancelled:
+                return
+            self._processed += 1
+            action()
+
+        event._handle = loop.call_later(self.clock.units_to_seconds(delay), fire)
+        self._events.add(event)
+        return event
+
+    def schedule_at(
+        self, timestamp: float, action: Callable[[], None], label: str = ""
+    ) -> AsyncScheduledEvent:
+        """Schedule ``action`` at absolute time ``timestamp`` (units)."""
+        delay = timestamp - self.now
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule at {timestamp}, current time is {self.now}"
+            )
+        return self.schedule(delay, action, label)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        action: Callable[[], None],
+        label: str = "",
+        initial_delay: Optional[float] = None,
+        jitter: float = 0.0,
+    ) -> "AsyncPeriodicTimer":
+        """Schedule ``action`` every ``period`` units until the timer stops."""
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        timer = AsyncPeriodicTimer(self, period, action, label=label, jitter=jitter)
+        timer.start(initial_delay if initial_delay is not None else period)
+        self._timers.add(timer)
+        return timer
+
+    # ------------------------------------------------------------- lifecycle
+
+    def shutdown(self) -> None:
+        """Cancel every pending one-shot event and stop every timer."""
+        for event in list(self._events):
+            event.cancel()
+        self._events.clear()
+        for timer in list(self._timers):
+            timer.stop()
+        self._timers.clear()
+
+
+class AsyncPeriodicTimer:
+    """Repeating timer with the :class:`~repro.sim.engine.PeriodicTimer` API."""
+
+    def __init__(
+        self,
+        scheduler: AsyncScheduler,
+        period: float,
+        action: Callable[[], None],
+        label: str = "",
+        jitter: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        if jitter < 0:
+            raise SimulationError("jitter must be non-negative")
+        self._scheduler = scheduler
+        self._period = period
+        self._action = action
+        self._label = label or "periodic"
+        self._jitter = jitter
+        self._pending: Optional[AsyncScheduledEvent] = None
+        self._stopped = True
+        self.fire_count = 0
+
+    @property
+    def period(self) -> float:
+        """Current period between firings (time units)."""
+        return self._period
+
+    @period.setter
+    def period(self, value: float) -> None:
+        if value <= 0:
+            raise SimulationError("period must be positive")
+        self._period = value
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer will keep firing."""
+        return not self._stopped
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Arm the timer; the first firing happens after ``initial_delay``."""
+        self._stopped = False
+        delay = self._period if initial_delay is None else initial_delay
+        self._schedule(delay)
+
+    def stop(self) -> None:
+        """Cancel any pending firing and stop rescheduling."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._scheduler._timers.discard(self)
+
+    def _schedule(self, delay: float) -> None:
+        offset = 0.0
+        if self._jitter:
+            offset = self._scheduler.rng.stream("periodic-timers").uniform(0.0, self._jitter)
+        self._pending = self._scheduler.schedule(delay + offset, self._fire, label=self._label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fire_count += 1
+        self._action()
+        if not self._stopped:
+            self._schedule(self._period)

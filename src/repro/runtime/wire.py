@@ -1,0 +1,260 @@
+"""Length-prefixed JSON wire codec for the live runtime.
+
+Every message that crosses a transport is one *frame*: a 4-byte big-endian
+length prefix followed by a UTF-8 JSON object.  The JSON object carries the
+:class:`~repro.sim.network.Message` envelope (sender, recipient, kind, size,
+sent_at) plus a ``payload`` encoded by a per-kind codec.  Codecs exist for
+every protocol payload that travels in the stack — gossip events and
+digests, pull requests, CYCLON shuffles, lpbcast membership digests — and
+for the runtime's own control frames (remote publish and subscription
+exchanges).  ``None`` and plain-JSON payloads pass through unchanged, so new
+message kinds with JSON-native payloads work without registering a codec.
+
+The memory transport runs every frame through this codec too: what the
+socket transports put on the wire is byte-for-byte what the in-process
+transport exercises, which is what makes memory-transport tests meaningful
+for the UDP/TCP paths.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..gossip.push import GossipMessage
+from ..gossip.pushpull import DigestMessage, PullRequest
+from ..membership.cyclon import ShufflePayload
+from ..membership.lpbcast import MembershipDigest
+from ..membership.views import NodeDescriptor
+from ..pubsub.events import Event
+from ..pubsub.filters import Filter, filter_from_dict
+from ..sim.network import Message
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME_SIZE",
+    "PUBLISH_KIND",
+    "SUBSCRIBE_KIND",
+    "UNSUBSCRIBE_KIND",
+    "WireError",
+    "encode_message",
+    "decode_message",
+    "frame",
+    "FrameDecoder",
+]
+
+#: Bumped whenever the frame layout or a payload encoding changes.
+WIRE_VERSION = 1
+
+#: Upper bound on a single frame; protects receivers from hostile prefixes.
+MAX_FRAME_SIZE = 16 * 1024 * 1024
+
+#: Control frame kinds understood by :class:`~repro.runtime.host.NodeHost`.
+PUBLISH_KIND = "runtime.publish"
+SUBSCRIBE_KIND = "runtime.subscribe"
+UNSUBSCRIBE_KIND = "runtime.unsubscribe"
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(ValueError):
+    """Raised when a frame cannot be encoded or decoded."""
+
+
+# --------------------------------------------------------------- descriptors
+
+
+def _encode_descriptor(descriptor: NodeDescriptor) -> List[Any]:
+    return [descriptor.node_id, descriptor.age, list(descriptor.topics)]
+
+
+def _decode_descriptor(payload: List[Any]) -> NodeDescriptor:
+    node_id, age, topics = payload
+    return NodeDescriptor(node_id=str(node_id), age=int(age), topics=tuple(topics))
+
+
+def _encode_membership_digest(digest: MembershipDigest) -> Dict[str, Any]:
+    return {"descriptors": [_encode_descriptor(entry) for entry in digest.descriptors]}
+
+
+def _decode_membership_digest(payload: Dict[str, Any]) -> MembershipDigest:
+    return MembershipDigest(
+        descriptors=tuple(_decode_descriptor(entry) for entry in payload["descriptors"])
+    )
+
+
+# ------------------------------------------------------------ gossip payloads
+
+
+def _encode_gossip(message: GossipMessage) -> Dict[str, Any]:
+    encoded: Dict[str, Any] = {
+        "events": [event.to_dict() for event in message.events],
+        "benefit": message.sender_benefit_rate,
+    }
+    if message.membership_digest is not None:
+        encoded["digest"] = _encode_membership_digest(message.membership_digest)
+    return encoded
+
+
+def _decode_gossip(payload: Dict[str, Any]) -> GossipMessage:
+    digest = payload.get("digest")
+    return GossipMessage(
+        events=tuple(Event.from_dict(entry) for entry in payload["events"]),
+        sender_benefit_rate=float(payload.get("benefit", 0.0)),
+        membership_digest=None if digest is None else _decode_membership_digest(digest),
+    )
+
+
+def _encode_digest_message(message: DigestMessage) -> Dict[str, Any]:
+    return {"event_ids": list(message.event_ids), "benefit": message.sender_benefit_rate}
+
+
+def _decode_digest_message(payload: Dict[str, Any]) -> DigestMessage:
+    return DigestMessage(
+        event_ids=tuple(payload["event_ids"]),
+        sender_benefit_rate=float(payload.get("benefit", 0.0)),
+    )
+
+
+def _encode_pull_request(message: PullRequest) -> Dict[str, Any]:
+    return {"event_ids": list(message.event_ids)}
+
+
+def _decode_pull_request(payload: Dict[str, Any]) -> PullRequest:
+    return PullRequest(event_ids=tuple(payload["event_ids"]))
+
+
+def _encode_shuffle(message: ShufflePayload) -> Dict[str, Any]:
+    return {"descriptors": [_encode_descriptor(entry) for entry in message.descriptors]}
+
+
+def _decode_shuffle(payload: Dict[str, Any]) -> ShufflePayload:
+    return ShufflePayload(
+        descriptors=tuple(_decode_descriptor(entry) for entry in payload["descriptors"])
+    )
+
+
+def _encode_filter(subscription_filter: Filter) -> Dict[str, Any]:
+    return subscription_filter.to_dict()
+
+
+#: ``kind -> (encoder, decoder)``; kinds absent here fall back to plain JSON.
+_CODECS: Dict[str, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {
+    "gossip.push": (_encode_gossip, _decode_gossip),
+    "gossip.pull-reply": (_encode_gossip, _decode_gossip),
+    "gossip.digest": (_encode_digest_message, _decode_digest_message),
+    "gossip.pull-request": (_encode_pull_request, _decode_pull_request),
+    "membership.cyclon.request": (_encode_shuffle, _decode_shuffle),
+    "membership.cyclon.reply": (_encode_shuffle, _decode_shuffle),
+    "membership.lpbcast.digest": (_encode_membership_digest, _decode_membership_digest),
+    PUBLISH_KIND: (lambda event: event.to_dict(), Event.from_dict),
+    SUBSCRIBE_KIND: (_encode_filter, filter_from_dict),
+    UNSUBSCRIBE_KIND: (_encode_filter, filter_from_dict),
+}
+
+
+# ------------------------------------------------------------------ envelope
+
+
+def encode_message(message: Message) -> bytes:
+    """Encode a message envelope plus payload as one JSON frame body."""
+    payload: Any = message.payload
+    codec = _CODECS.get(message.kind)
+    if codec is not None:
+        if payload is None:
+            raise WireError(f"message kind {message.kind!r} requires a payload")
+        payload = codec[0](payload)
+    envelope = {
+        "v": WIRE_VERSION,
+        "sender": message.sender,
+        "recipient": message.recipient,
+        "kind": message.kind,
+        "size": message.size,
+        "sent_at": message.sent_at,
+        "payload": payload,
+    }
+    try:
+        return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise WireError(
+            f"payload of kind {message.kind!r} is not JSON-serializable: {error}"
+        ) from None
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode one JSON frame body back into a message."""
+    try:
+        envelope = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"malformed frame: {error}") from None
+    if not isinstance(envelope, dict):
+        raise WireError("frame must decode to a JSON object")
+    version = envelope.get("v")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version!r} (expected {WIRE_VERSION})")
+    # Malformed envelopes and mis-shaped payloads must surface as WireError:
+    # receivers treat WireError as "count and drop the frame", anything else
+    # would tear down the connection serving an otherwise healthy peer.
+    try:
+        kind = envelope["kind"]
+        payload = envelope.get("payload")
+        codec = _CODECS.get(kind)
+        if codec is not None:
+            payload = codec[1](payload)
+        return Message(
+            sender=envelope["sender"],
+            recipient=envelope["recipient"],
+            kind=kind,
+            payload=payload,
+            size=int(envelope.get("size", 1)),
+            sent_at=float(envelope.get("sent_at", 0.0)),
+        )
+    except WireError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as error:
+        raise WireError(f"malformed envelope or payload: {error!r}") from None
+
+
+# ------------------------------------------------------------------- framing
+
+
+def frame(body: bytes) -> bytes:
+    """Prefix a frame body with its 4-byte big-endian length."""
+    if len(body) > MAX_FRAME_SIZE:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_SIZE")
+    return _LENGTH.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental splitter for length-prefixed frames on a byte stream.
+
+    Feed arbitrary chunks (as delivered by a TCP socket); complete frame
+    bodies come out in order.  State between calls is just the undecoded
+    tail, so one decoder per connection is all a server needs.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb a chunk and return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                break
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_SIZE:
+                raise WireError(f"incoming frame of {length} bytes exceeds MAX_FRAME_SIZE")
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                break
+            frames.append(bytes(self._buffer[_LENGTH.size : end]))
+            del self._buffer[:end]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)

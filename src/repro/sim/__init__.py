@@ -16,7 +16,7 @@ Typical wiring::
     sim.run(until=100.0)
 """
 
-from .clock import VirtualClock
+from .clock import Clock, VirtualClock
 from .engine import PeriodicTimer, ScheduledEvent, SimulationError, Simulator
 from .failure import ChurnInjector, CrashSchedule, PartitionInjector
 from .metrics import Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry
@@ -37,6 +37,7 @@ from .rng import RngRegistry, derive_seed, weighted_choice, zipf_weights
 from .trace import TraceRecord, TraceRecorder
 
 __all__ = [
+    "Clock",
     "VirtualClock",
     "Simulator",
     "ScheduledEvent",

@@ -1,14 +1,17 @@
-"""Virtual clock for the discrete-event simulator.
+"""Clocks: the time interface shared by the simulator and the live runtime.
 
-The clock only ever moves forward, and only the scheduler advances it.  Time
-is a float measured in abstract "time units"; gossip protocols typically use
-one unit per gossip round, while the network model uses fractions of a unit
-for per-link latency.
+Time is a float measured in abstract "time units"; gossip protocols typically
+use one unit per gossip round, while the network model uses fractions of a
+unit for per-link latency.  :class:`Clock` fixes the one property every
+consumer of time relies on (``now``), so the same protocol code runs against
+the simulator's :class:`VirtualClock` (advanced only by the scheduler) and
+the runtime's :class:`repro.runtime.clock.WallClock` (advanced by the
+operating system).
 """
 
 from __future__ import annotations
 
-__all__ = ["VirtualClock"]
+__all__ = ["Clock", "VirtualClock"]
 
 
 def _validated_start(start: float) -> float:
@@ -18,7 +21,21 @@ def _validated_start(start: float) -> float:
     return float(start)
 
 
-class VirtualClock:
+class Clock:
+    """Monotonically increasing time source measured in time units.
+
+    The contract is minimal on purpose: protocol code only ever *reads* the
+    clock; who advances it (the discrete-event scheduler or the OS) is an
+    implementation detail of the concrete clock.
+    """
+
+    @property
+    def now(self) -> float:
+        """Current time in time units; never decreases."""
+        raise NotImplementedError
+
+
+class VirtualClock(Clock):
     """Monotonically increasing simulated time."""
 
     def __init__(self, start: float = 0.0) -> None:

@@ -193,6 +193,60 @@ class TestForwardAuditAndDetector:
         with pytest.raises(ValueError):
             BiasDetector(concentration_threshold=2.0)
 
+    def test_precision_recall_no_selfish_nodes(self):
+        # Honest population, empty ground truth: nothing flagged is a
+        # perfect detector (vacuous precision), and recall is vacuously 1.
+        audit = ForwardAudit()
+        for _ in range(20):
+            audit.observe("a", 4, 4)
+            audit.observe("b", 4, 4)
+        report = BiasDetector(min_messages=5).analyse(audit)
+        assert report.flagged_nodes() == []
+        precision, recall = report.precision_recall([])
+        assert precision == 1.0 and recall == 1.0
+
+    def test_precision_recall_false_positive_with_no_selfish_nodes(self):
+        # One node looks stale-biased but the ground truth is empty: every
+        # flag is a false positive (precision 0), recall stays vacuously 1.
+        audit = ForwardAudit()
+        for _ in range(20):
+            audit.observe("honest-looking-bad", 0, 4)
+            audit.observe("good-1", 4, 4)
+            audit.observe("good-2", 4, 4)
+        report = BiasDetector(min_messages=5).analyse(audit)
+        assert report.flagged_nodes() == ["honest-looking-bad"]
+        precision, recall = report.precision_recall([])
+        assert precision == 0.0 and recall == 1.0
+
+    def test_precision_recall_all_selfish_all_flagged(self):
+        # Uniformly selfish population: the median-relative rule cannot
+        # separate anyone (everyone IS the median), so nothing is flagged.
+        # With a non-empty ground truth and an empty flag set, both
+        # precision and recall collapse to 0 — the detector is blind to a
+        # population-wide attack by construction.
+        audit = ForwardAudit()
+        for _ in range(20):
+            audit.observe("bad-1", 0, 4)
+            audit.observe("bad-2", 0, 4)
+        report = BiasDetector(min_messages=5).analyse(audit)
+        assert report.flagged_nodes() == []
+        precision, recall = report.precision_recall(["bad-1", "bad-2"])
+        assert precision == 0.0 and recall == 0.0
+
+    def test_precision_recall_all_selfish_partially_caught(self):
+        # Mostly honest population with two true attackers, one flagged:
+        # precision 1 (no false positives), recall 1/2.
+        audit = ForwardAudit()
+        for _ in range(20):
+            audit.observe("bad-caught", 0, 4)
+            audit.observe("bad-missed", 4, 4)  # behaves well enough to hide
+            audit.observe("good-1", 4, 4)
+            audit.observe("good-2", 4, 4)
+        report = BiasDetector(min_messages=5).analyse(audit)
+        assert report.flagged_nodes() == ["bad-caught"]
+        precision, recall = report.precision_recall(["bad-caught", "bad-missed"])
+        assert precision == 1.0 and recall == 0.5
+
 
 class TestSelfishNode:
     def build_mixed_system(self, seed=40, nodes=30, selfish=4):

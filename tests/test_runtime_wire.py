@@ -1,0 +1,199 @@
+"""Tests for the runtime wire codec and framing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gossip.push import GossipMessage
+from repro.gossip.pushpull import DigestMessage, PullRequest
+from repro.membership.cyclon import ShufflePayload
+from repro.membership.lpbcast import MembershipDigest
+from repro.membership.views import NodeDescriptor
+from repro.pubsub.events import Event
+from repro.pubsub.filters import AttributeCondition, ContentFilter, TopicFilter
+from repro.runtime.wire import (
+    MAX_FRAME_SIZE,
+    PUBLISH_KIND,
+    SUBSCRIBE_KIND,
+    UNSUBSCRIBE_KIND,
+    WIRE_VERSION,
+    FrameDecoder,
+    WireError,
+    decode_message,
+    encode_message,
+    frame,
+)
+from repro.sim.network import Message
+
+
+def roundtrip(message: Message) -> Message:
+    return decode_message(encode_message(message))
+
+
+def make_event(index: int = 0) -> Event:
+    return Event(
+        event_id=f"pub#{index}",
+        publisher="pub",
+        attributes={"topic": "news", "level": index},
+        published_at=1.5,
+        size=2,
+    )
+
+
+class TestPayloadCodecs:
+    def test_gossip_message_roundtrip_with_digest(self):
+        digest = MembershipDigest(
+            descriptors=(
+                NodeDescriptor("n1", age=3, topics=("news", "sport")),
+                NodeDescriptor("n2", age=0),
+            )
+        )
+        payload = GossipMessage(
+            events=(make_event(0), make_event(1)),
+            sender_benefit_rate=0.75,
+            membership_digest=digest,
+        )
+        message = Message(
+            sender="a", recipient="b", kind="gossip.push", payload=payload, size=4, sent_at=2.5
+        )
+        decoded = roundtrip(message)
+        assert decoded.sender == "a" and decoded.recipient == "b"
+        assert decoded.kind == "gossip.push"
+        assert decoded.size == 4 and decoded.sent_at == 2.5
+        assert decoded.payload.sender_benefit_rate == 0.75
+        assert [event.to_dict() for event in decoded.payload.events] == [
+            event.to_dict() for event in payload.events
+        ]
+        assert decoded.payload.membership_digest == digest
+
+    def test_gossip_message_roundtrip_without_digest(self):
+        payload = GossipMessage(events=(make_event(),))
+        decoded = roundtrip(Message("a", "b", "gossip.pull-reply", payload=payload))
+        assert decoded.payload.membership_digest is None
+        assert decoded.payload.events[0] == make_event()
+
+    def test_pushpull_digest_and_pull_request_roundtrip(self):
+        digest = DigestMessage(event_ids=("e1", "e2"), sender_benefit_rate=1.25)
+        decoded = roundtrip(Message("a", "b", "gossip.digest", payload=digest))
+        assert decoded.payload == digest
+        request = PullRequest(event_ids=("e2",))
+        decoded = roundtrip(Message("b", "a", "gossip.pull-request", payload=request))
+        assert decoded.payload == request
+
+    def test_cyclon_shuffle_roundtrip(self):
+        payload = ShufflePayload(
+            descriptors=(NodeDescriptor("n3", age=1), NodeDescriptor("n4", age=7))
+        )
+        for kind in ("membership.cyclon.request", "membership.cyclon.reply"):
+            decoded = roundtrip(Message("a", "b", kind, payload=payload))
+            assert decoded.payload == payload
+
+    def test_lpbcast_digest_roundtrip(self):
+        payload = MembershipDigest(descriptors=(NodeDescriptor("n5", age=2),))
+        decoded = roundtrip(Message("a", "b", "membership.lpbcast.digest", payload=payload))
+        assert decoded.payload == payload
+
+    def test_control_publish_roundtrip(self):
+        event = make_event(9)
+        decoded = roundtrip(Message("client", "node-0", PUBLISH_KIND, payload=event))
+        assert decoded.payload == event
+        assert decoded.payload.attributes == event.attributes
+
+    def test_subscription_exchange_roundtrip(self):
+        topic_filter = TopicFilter("news")
+        decoded = roundtrip(Message("client", "node-0", SUBSCRIBE_KIND, payload=topic_filter))
+        assert decoded.payload == topic_filter
+        content_filter = ContentFilter(
+            conditions=(
+                AttributeCondition("category", "==", "metals"),
+                AttributeCondition("level", ">=", 6),
+            ),
+            name="metals-high",
+        )
+        decoded = roundtrip(Message("client", "node-0", UNSUBSCRIBE_KIND, payload=content_filter))
+        assert decoded.payload == content_filter
+
+    def test_plain_payload_passthrough(self):
+        decoded = roundtrip(Message("a", "b", "custom.kind", payload={"x": [1, 2]}))
+        assert decoded.payload == {"x": [1, 2]}
+        decoded = roundtrip(Message("a", "b", "custom.none"))
+        assert decoded.payload is None
+
+    def test_codec_kind_requires_payload(self):
+        with pytest.raises(WireError):
+            encode_message(Message("a", "b", "gossip.push", payload=None))
+
+    def test_non_serializable_payload_raises(self):
+        with pytest.raises(WireError):
+            encode_message(Message("a", "b", "custom.kind", payload=object()))
+
+
+class TestEnvelope:
+    def test_wire_version_mismatch_rejected(self):
+        body = encode_message(Message("a", "b", "custom.kind", payload=1))
+        tampered = body.replace(
+            f'"v":{WIRE_VERSION}'.encode(), f'"v":{WIRE_VERSION + 1}'.encode()
+        )
+        with pytest.raises(WireError):
+            decode_message(tampered)
+
+    def test_malformed_frame_rejected(self):
+        with pytest.raises(WireError):
+            decode_message(b"\xff\xfenot json")
+        with pytest.raises(WireError):
+            decode_message(b'"a bare string"')
+
+    def test_missing_fields_and_misshaped_payloads_raise_wire_error(self):
+        # A hostile or buggy peer must never escalate past WireError: the
+        # receiving network counts WireError as a dropped frame, anything
+        # else would tear down the serving connection.
+        def envelope(**overrides):
+            body = {"v": WIRE_VERSION, "sender": "a", "recipient": "b", "kind": "custom.kind"}
+            body.update(overrides)
+            return json.dumps(body).encode("utf-8")
+
+        cases = [
+            json.dumps({"v": WIRE_VERSION, "payload": None}).encode(),  # no kind/sender
+            envelope(kind="gossip.push", payload=None),  # codec kind, null payload
+            envelope(kind="gossip.push", payload={"benefit": 1.0}),  # missing events
+            envelope(  # descriptor with missing fields
+                kind="membership.cyclon.request", payload={"descriptors": [["only-id"]]}
+            ),
+            envelope(kind="runtime.subscribe", payload={"kind": "no-such-filter"}),
+            envelope(size="not-a-number"),
+        ]
+        for body in cases:
+            with pytest.raises(WireError):
+                decode_message(body)
+
+
+class TestFraming:
+    def test_frame_prefixes_length(self):
+        body = b"hello"
+        framed = frame(body)
+        assert framed == b"\x00\x00\x00\x05hello"
+
+    def test_decoder_reassembles_chunked_stream(self):
+        bodies = [b"a", b"bb" * 100, b"", b"ccc"]
+        stream = b"".join(frame(body) for body in bodies)
+        decoder = FrameDecoder()
+        received = []
+        # Feed one byte at a time: worst-case fragmentation.
+        for offset in range(len(stream)):
+            received.extend(decoder.feed(stream[offset : offset + 1]))
+        assert received == bodies
+        assert decoder.pending_bytes == 0
+
+    def test_decoder_handles_multiple_frames_per_chunk(self):
+        bodies = [b"one", b"two", b"three"]
+        decoder = FrameDecoder()
+        assert decoder.feed(b"".join(frame(body) for body in bodies)) == bodies
+
+    def test_oversize_frame_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WireError):
+            decoder.feed((MAX_FRAME_SIZE + 1).to_bytes(4, "big"))
+        with pytest.raises(WireError):
+            frame(b"x" * (MAX_FRAME_SIZE + 1))

@@ -129,6 +129,49 @@ class TestPartitionInjector:
         with pytest.raises(ValueError):
             injector.partition_at(1.0, {"a": 1}, heal_after=0.0)
 
+    def test_messages_dropped_across_partition_and_flow_after_heal(self, simulator, network):
+        build_population(simulator, network, 2)
+        injector = PartitionInjector(simulator, network)
+        injector.partition_at(1.0, {"n0": 0, "n1": 1}, heal_after=2.0)
+        simulator.run(until=1.5)
+        network.send("n0", "n1", "ping")
+        simulator.run(until=2.0)
+        assert network.stats.dropped_partition == 1
+        assert network.stats.delivered == 0
+        simulator.run(until=3.5)  # healed at t=3
+        network.send("n0", "n1", "ping")
+        simulator.run(until=4.0)
+        assert network.stats.dropped_partition == 1
+        assert network.stats.delivered == 1
+
+    def test_nodes_absent_from_assignment_default_to_group_zero(self, simulator, network):
+        build_population(simulator, network, 3)
+        injector = PartitionInjector(simulator, network)
+        injector.partition_at(1.0, {"n1": 1}, heal_after=10.0)
+        simulator.run(until=1.5)
+        # n0 and n2 are unassigned, hence both in group 0 and connected.
+        assert network._same_partition("n0", "n2")
+        assert not network._same_partition("n0", "n1")
+
+    def test_overlapping_partitions_last_installed_wins(self, simulator, network):
+        build_population(simulator, network, 2)
+        injector = PartitionInjector(simulator, network)
+        injector.partition_at(1.0, {"n0": 0, "n1": 1}, heal_after=10.0)
+        injector.partition_at(2.0, {"n0": 0, "n1": 0}, heal_after=10.0)
+        simulator.run(until=2.5)
+        assert injector.partitions_installed == 2
+        assert network._same_partition("n0", "n1")
+
+    def test_split_in_two_respects_fraction(self, simulator, network):
+        build_population(simulator, network, 4)
+        injector = PartitionInjector(simulator, network)
+        injector.split_in_two(["n0", "n1", "n2", "n3"], time=1.0, heal_after=5.0, fraction=0.25)
+        simulator.run(until=1.5)
+        # One node (the first) is cut off; the remaining three stay together.
+        assert not network._same_partition("n0", "n1")
+        assert network._same_partition("n1", "n2")
+        assert network._same_partition("n2", "n3")
+
 
 class TestTraceRecorder:
     def test_records_and_filters(self):
