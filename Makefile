@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-rt serve-smoke clean-cache
+.PHONY: test bench bench-smoke bench-rt serve-smoke serve-scenario-smoke registry-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,16 @@ bench-rt:
 # Short live cluster run with the embedded load generator (memory transport).
 serve-smoke:
 	$(PYTHON) -m repro serve --nodes 25 --transport memory --duration 5
+
+# Registry/StackSpec sanity: list, describe, then run a registered scenario
+# live on the memory transport — once as gossip, once as a non-gossip baseline.
+registry-smoke:
+	$(PYTHON) -m repro list-scenarios
+	$(PYTHON) -m repro describe smoke
+
+serve-scenario-smoke: registry-smoke
+	$(PYTHON) -m repro serve --scenario smoke --transport memory --duration 3 --rate 200 --drain 0.5
+	$(PYTHON) -m repro serve --scenario smoke --set system.kind=brokers --transport memory --duration 2 --rate 100 --drain 0.5
 
 clean-cache:
 	rm -rf .repro-cache .ci-cache BENCH_rt_throughput.json

@@ -45,6 +45,7 @@ from repro.experiments import (  # noqa: E402
 __all__ = [
     "BASE_CONFIG",
     "EXECUTOR",
+    "spec_overrides",
     "run_configs",
     "run_sweep",
     "run_compare",
@@ -67,6 +68,17 @@ EXECUTOR = ParallelSweepExecutor(
     workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
     cache=ResultCache(_cache_dir) if _cache_dir else None,
 )
+
+
+def spec_overrides(base: ExperimentConfig, overrides: Dict[str, object]) -> ExperimentConfig:
+    """Apply dotted spec-path overrides to a flat config.
+
+    Benchmark variants can use the same vocabulary as the CLI's ``--set``
+    (``{"system.fanout": 5, "membership.kind": "lpbcast"}``); the mapping
+    round-trips through :class:`repro.registry.StackSpec`, which never
+    perturbs the cache key of an untouched field.
+    """
+    return base.spec().with_values(overrides).to_config()
 
 
 def run_configs(

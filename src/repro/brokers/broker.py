@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from ..core.accounting import WorkLedger
 from ..pubsub.events import Event, EventFactory
-from ..pubsub.filters import Filter
+from ..pubsub.filters import Filter, filter_from_dict
 from ..pubsub.interfaces import DeliveryCallback, DeliveryLog, DisseminationSystem
 from ..pubsub.matching import MatchingEngine
 from ..pubsub.subscriptions import SubscriptionTable
@@ -49,6 +49,42 @@ class _SubscriptionPayload:
 @dataclass(frozen=True)
 class _EventPayload:
     event: Event
+
+
+def _encode_subscription(payload: _SubscriptionPayload) -> Dict[str, object]:
+    return {
+        "client": payload.client_id,
+        "filter": payload.subscription_filter.to_dict(),
+        "add": payload.add,
+    }
+
+
+def _decode_subscription(encoded: Dict[str, object]) -> _SubscriptionPayload:
+    return _SubscriptionPayload(
+        client_id=str(encoded["client"]),
+        subscription_filter=filter_from_dict(encoded["filter"]),
+        add=bool(encoded["add"]),
+    )
+
+
+def _encode_event_payload(payload: _EventPayload) -> Dict[str, object]:
+    return {"event": payload.event.to_dict()}
+
+
+def _decode_event_payload(encoded: Dict[str, object]) -> _EventPayload:
+    return _EventPayload(event=Event.from_dict(encoded["event"]))
+
+
+#: ``kind -> (encoder, decoder)`` consumed by the runtime wire codec
+#: (:mod:`repro.runtime.wire`), so broker overlays run on live transports.
+WIRE_CODECS = {
+    SUBSCRIBE_KIND: (_encode_subscription, _decode_subscription),
+    UNSUBSCRIBE_KIND: (_encode_subscription, _decode_subscription),
+    SUBSCRIPTION_SYNC_KIND: (_encode_subscription, _decode_subscription),
+    PUBLISH_KIND: (_encode_event_payload, _decode_event_payload),
+    INTERBROKER_KIND: (_encode_event_payload, _decode_event_payload),
+    DELIVER_KIND: (_encode_event_payload, _decode_event_payload),
+}
 
 
 class BrokerNode(Process):
@@ -295,6 +331,10 @@ class BrokerSystem(DisseminationSystem):
     def node_ids(self) -> List[str]:
         """Client ids (the participants in the paper's sense)."""
         return sorted(self.clients)
+
+    def client_nodes(self) -> Dict[str, "ClientNode"]:
+        """Application-facing nodes: the clients (brokers are infrastructure)."""
+        return self.clients
 
     def broker_ids(self) -> List[str]:
         """Ids of the broker nodes."""

@@ -21,7 +21,7 @@ from .adaptive_fanout import AdaptiveFanoutController, FanoutSchedule
 from .adaptive_payload import AdaptivePayloadController, PayloadSchedule
 from .bias import BiasDetector, BiasFinding, BiasReport, ForwardAudit, SelfishGossipNode
 from .estimators import BenefitEstimator, Ewma
-from .fair_gossip import FairGossipNode, FairGossipSystem
+from .fair_gossip import FairGossipNode, FairGossipSystem, fair_node_kwargs
 from .fairness import (
     FairnessReport,
     contribution_benefit_ratios,
@@ -63,6 +63,7 @@ __all__ = [
     "PayloadSchedule",
     "FairGossipNode",
     "FairGossipSystem",
+    "fair_node_kwargs",
     "ForwardAudit",
     "BiasDetector",
     "BiasReport",

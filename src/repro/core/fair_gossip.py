@@ -41,7 +41,43 @@ from .adaptive_payload import AdaptivePayloadController, PayloadSchedule
 from .estimators import BenefitEstimator
 from .policy import EXPRESSIVE_POLICY, FairnessPolicy
 
-__all__ = ["FairGossipNode", "FairGossipSystem"]
+__all__ = ["FairGossipNode", "FairGossipSystem", "fair_node_kwargs"]
+
+
+def fair_node_kwargs(
+    *,
+    fanout: int,
+    gossip_size: int,
+    round_period: float,
+    min_fanout: int,
+    max_fanout: int,
+    min_payload: int,
+    max_payload: int,
+    policy: FairnessPolicy,
+    adapt_fanout: bool = True,
+    adapt_payload: bool = True,
+) -> Dict:
+    """Node kwargs for a :class:`FairGossipSystem` from scalar parameters.
+
+    This is the protocol's own translation of a declarative spec (flat
+    config fields or a ``SystemSpec``) into the schedule objects
+    :class:`FairGossipNode` expects; the component registry's
+    ``fair-gossip`` factory builds through it.
+    """
+    return {
+        "fanout": fanout,
+        "gossip_size": gossip_size,
+        "round_period": round_period,
+        "fanout_schedule": FanoutSchedule(
+            base_fanout=fanout, min_fanout=min_fanout, max_fanout=max_fanout
+        ),
+        "payload_schedule": PayloadSchedule(
+            base_payload=gossip_size, min_payload=min_payload, max_payload=max_payload
+        ),
+        "policy": policy,
+        "adapt_fanout": adapt_fanout,
+        "adapt_payload": adapt_payload,
+    }
 
 
 class FairGossipNode(PushGossipNode):

@@ -57,6 +57,38 @@ class _PublishPayload:
     event: Event
 
 
+def _encode_membership_change(payload) -> dict:
+    return {"topic": payload.routing_topic, "child": payload.child}
+
+
+def _decode_join(encoded: dict) -> "_JoinPayload":
+    return _JoinPayload(routing_topic=str(encoded["topic"]), child=str(encoded["child"]))
+
+
+def _decode_leave(encoded: dict) -> "_LeavePayload":
+    return _LeavePayload(routing_topic=str(encoded["topic"]), child=str(encoded["child"]))
+
+
+def _encode_publish(payload: "_PublishPayload") -> dict:
+    return {"topic": payload.routing_topic, "event": payload.event.to_dict()}
+
+
+def _decode_publish(encoded: dict) -> "_PublishPayload":
+    return _PublishPayload(
+        routing_topic=str(encoded["topic"]), event=Event.from_dict(encoded["event"])
+    )
+
+
+#: ``kind -> (encoder, decoder)`` consumed by the runtime wire codec
+#: (:mod:`repro.runtime.wire`); SplitStream reuses these kinds unchanged.
+WIRE_CODECS = {
+    JOIN_KIND: (_encode_membership_change, _decode_join),
+    LEAVE_KIND: (_encode_membership_change, _decode_leave),
+    ROUTE_PUBLISH_KIND: (_encode_publish, _decode_publish),
+    MULTICAST_KIND: (_encode_publish, _decode_publish),
+}
+
+
 class ScribeNode(Process):
     """One Pastry/Scribe participant.
 

@@ -11,9 +11,11 @@ from .cache import ARTIFACT_SCHEMA, ResultCache, config_hash
 from .config import ExperimentConfig
 from .executor import ExecutionReport, ParallelSweepExecutor
 from .runner import ExperimentResult, run_experiment
+from ..registry import StackSpec
 from .scenarios import (
     SYSTEM_NAMES,
     Scenario,
+    system_names,
     build_interest,
     build_membership_provider,
     build_popularity,
@@ -61,4 +63,6 @@ __all__ = [
     "build_membership_provider",
     "resolve_policy",
     "SYSTEM_NAMES",
+    "system_names",
+    "StackSpec",
 ]

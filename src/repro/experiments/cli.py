@@ -6,6 +6,7 @@ Subcommands
 ``sweep``          run a scenario across one parameter axis
 ``compare``        run a scenario across several dissemination systems
 ``list-scenarios`` show the named-scenario registry
+``describe``       show a scenario's resolved spec or a component's schema
 ``serve``          run a *live* cluster on a real transport (asyncio runtime)
 ``loadgen``        drive a live cluster at a target events/sec
 
@@ -16,8 +17,10 @@ and ``loadgen`` run the same protocol stack on the live runtime
 Every experiment-running subcommand shares the same orchestration options:
 ``--workers`` fans uncached grid points out over worker processes,
 ``--cache-dir``/``--no-cache`` control the content-addressed result cache,
-``--set field=value`` overrides any :class:`ExperimentConfig` field, and
-``--json`` writes the full result artifacts for downstream analysis.
+``--set key=value`` overrides any config field — by dotted spec path into
+the nested component specs (``system.fanout=5``, ``membership.kind=lpbcast``)
+or by legacy flat name (``fanout=5``) — and ``--json`` writes the full
+result artifacts for downstream analysis.
 Because experiments are deterministic, ``--workers N`` produces
 bit-identical artifacts for every ``N``, and a repeated invocation is served
 entirely from the cache (reported in the trailing status line).
@@ -29,68 +32,38 @@ import argparse
 import json
 import os
 import sys
-from dataclasses import fields
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.tables import Table
+from ..registry import (
+    PATH_TO_FLAT,
+    RegistryError,
+    all_registries,
+    parse_scalar,
+    parse_spec_overrides,
+    resolve_spec_path,
+    workload_kind,
+)
+from ..registry.base import suggest
 from ..runtime.cli import add_runtime_subcommands
 from .cache import ARTIFACT_SCHEMA, DEFAULT_CACHE_DIR, ResultCache
 from .config import ExperimentConfig
 from .executor import ParallelSweepExecutor
 from .runner import ExperimentResult
-from .scenarios import SYSTEM_NAMES, get_scenario, iter_scenarios
+from .scenarios import SYSTEM_NAMES, get_scenario, iter_scenarios, scenario_names, system_names
 from .sweeps import results_table
 
 __all__ = ["main", "build_parser"]
 
-_CONFIG_FIELDS = {config_field.name: config_field for config_field in fields(ExperimentConfig)}
-
-
-def parse_scalar(text: str):
-    """Parse a CLI value: int, then float, then bool, falling back to str."""
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        pass
-    lowered = text.lower()
-    if lowered in ("true", "yes", "on"):
-        return True
-    if lowered in ("false", "no", "off"):
-        return False
-    return text
-
-
-#: Config fields whose values are not flat scalars and therefore cannot be
-#: expressed through ``--set field=value``.
-_NON_SCALAR_FIELDS = ("extra",)
-
-
-def _parse_overrides(pairs: Sequence[str]) -> Dict[str, object]:
-    """Turn repeated ``--set field=value`` options into config overrides."""
-    overrides: Dict[str, object] = {}
-    for pair in pairs:
-        if "=" not in pair:
-            raise SystemExit(f"--set expects field=value, got {pair!r}")
-        name, _, raw = pair.partition("=")
-        name = name.strip()
-        if name not in _CONFIG_FIELDS:
-            raise SystemExit(
-                f"unknown config field {name!r}; known fields: {', '.join(sorted(_CONFIG_FIELDS))}"
-            )
-        if name in _NON_SCALAR_FIELDS:
-            raise SystemExit(
-                f"config field {name!r} is not scalar and cannot be set from the CLI"
-            )
-        overrides[name] = parse_scalar(raw.strip())
-    return overrides
-
-
 def _resolve_config(args: argparse.Namespace) -> ExperimentConfig:
-    """Scenario plus common flags plus ``--set`` overrides, in that order."""
+    """Scenario plus common flags plus ``--set`` overrides, in that order.
+
+    ``--set`` keys are dotted spec paths (``system.fanout``) or legacy flat
+    field names (``fanout``); they are applied through the nested
+    :class:`~repro.registry.specs.StackSpec` and converted back, which never
+    changes the cache identity of an untouched field (the flat/nested
+    mapping is a bijection).
+    """
     try:
         config = get_scenario(args.scenario).config
     except KeyError as error:
@@ -103,8 +76,14 @@ def _resolve_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["nodes"] = args.nodes
     if args.system is not None:
         overrides["system"] = args.system
-    overrides.update(_parse_overrides(args.set or []))
-    return config.with_overrides(**overrides) if overrides else config
+    if overrides:
+        config = config.with_overrides(**overrides)
+    if args.set:
+        try:
+            config = config.spec().with_values(parse_spec_overrides(args.set)).to_config()
+        except RegistryError as error:
+            raise SystemExit(str(error))
+    return config
 
 
 def _build_executor(args: argparse.Namespace) -> ParallelSweepExecutor:
@@ -147,29 +126,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    if args.param not in _CONFIG_FIELDS:
-        raise SystemExit(
-            f"unknown sweep parameter {args.param!r}; known fields: {', '.join(sorted(_CONFIG_FIELDS))}"
-        )
-    if args.param in _NON_SCALAR_FIELDS:
-        raise SystemExit(f"config field {args.param!r} is not scalar and cannot be swept")
-    values = [parse_scalar(value) for value in args.values.split(",") if value != ""]
+    try:
+        path = resolve_spec_path(args.param)
+    except RegistryError as error:
+        raise SystemExit(str(error))
+    if path == "extra":
+        raise SystemExit("config field 'extra' is structured and cannot be swept")
+    config = _resolve_config(args)
+    spec = config.spec()
+    # Route each value through the spec so type coercion (int → float for
+    # float-typed fields) matches what --set would produce.
+    values = [
+        spec.with_value(path, parse_scalar(value)).get(path)
+        for value in args.values.split(",")
+        if value != ""
+    ]
     if not values:
         raise SystemExit("--values must name at least one value")
-    config = _resolve_config(args)
+    parameter = PATH_TO_FLAT[path]
     executor = _build_executor(args)
-    results = executor.sweep(config, args.param, values, reseed=args.reseed)
+    results = executor.sweep(config, parameter, values, reseed=args.reseed)
     _emit_results(
-        args, executor, results, title=f"sweep — {config.name} over {args.param}={values}"
+        args, executor, results, title=f"sweep — {config.name} over {path}={values}"
     )
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     systems = [system.strip() for system in args.systems.split(",") if system.strip()]
-    unknown = [system for system in systems if system not in SYSTEM_NAMES]
+    known = system_names()
+    unknown = [system for system in systems if system not in known]
     if unknown:
-        raise SystemExit(f"unknown systems {unknown}; expected names from {list(SYSTEM_NAMES)}")
+        raise SystemExit(
+            f"unknown systems {unknown}{suggest(unknown[0], known)}; "
+            f"registered systems: {', '.join(known)}"
+        )
     config = _resolve_config(args)
     executor = _build_executor(args)
     results = executor.compare(config, systems)
@@ -177,6 +168,57 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         args, executor, results, title=f"compare — {config.name} across {', '.join(systems)}"
     )
     return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    name = args.name
+    registries = all_registries()
+    if name in scenario_names():
+        scenario = get_scenario(name)
+        spec = scenario.spec
+        print(f"scenario {scenario.name}: {scenario.description}")
+        print()
+        print("resolved spec (override any path with --set path=value):")
+        for line in spec.describe().splitlines():
+            print(f"  {line}")
+        print()
+        print("components:")
+        component_kinds = {
+            "system": spec.system.kind,
+            "membership": spec.membership.kind,
+            "interest": spec.interest.kind,
+            "workload": workload_kind(spec),
+            "policy": spec.policy.kind,
+        }
+        for section, kind in component_kinds.items():
+            try:
+                described = registries[section].get(kind).describe()
+            except RegistryError as error:
+                described = f"{kind}\n  ({error})"
+            print(f"  [{section}]")
+            for line in described.splitlines():
+                print(f"  {line}")
+        return 0
+
+    matches = [
+        (section, registry.get(name))
+        for section, registry in registries.items()
+        if name in registry
+    ]
+    if matches:
+        for section, entry in matches:
+            print(f"[{section}]")
+            print(entry.describe())
+        return 0
+
+    known = list(scenario_names()) + [
+        component for registry in registries.values() for component in registry.names()
+    ]
+    raise SystemExit(
+        f"unknown scenario or component {name!r}{suggest(name, known)}; "
+        f"scenarios: {', '.join(scenario_names())}; "
+        f"components: {', '.join(sorted(set(known) - set(scenario_names())))}"
+    )
 
 
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
@@ -215,8 +257,9 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--set",
         action="append",
-        metavar="FIELD=VALUE",
-        help="override any ExperimentConfig field (repeatable)",
+        metavar="PATH=VALUE",
+        help="override any config field by dotted spec path (system.fanout=5, "
+        "membership.kind=lpbcast) or legacy flat name (fanout=5); repeatable",
     )
 
 
@@ -235,7 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_parser = subparsers.add_parser("sweep", help="sweep one parameter axis")
     _add_common_options(sweep_parser)
-    sweep_parser.add_argument("--param", required=True, help="ExperimentConfig field to sweep")
+    sweep_parser.add_argument(
+        "--param",
+        required=True,
+        help="config field to sweep, as dotted spec path (system.fanout) or flat name (fanout)",
+    )
     sweep_parser.add_argument(
         "--values", required=True, help="comma-separated values (parsed as int/float/bool/str)"
     )
@@ -257,6 +304,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = subparsers.add_parser("list-scenarios", help="show the scenario registry")
     list_parser.set_defaults(handler=_cmd_list_scenarios)
+
+    describe_parser = subparsers.add_parser(
+        "describe",
+        help="show a scenario's resolved spec and component schemas, or one component's schema",
+    )
+    describe_parser.add_argument("name", help="scenario or component name (e.g. smoke, fair-gossip)")
+    describe_parser.set_defaults(handler=_cmd_describe)
 
     add_runtime_subcommands(subparsers)
 

@@ -141,6 +141,18 @@ class ExperimentConfig:
         """The free-form extras as a dictionary."""
         return dict(self.extra)
 
+    def spec(self):
+        """This config decomposed into a nested :class:`StackSpec`.
+
+        The flat config remains the canonical cache identity;
+        ``config.spec().to_config() == config`` holds for every config (the
+        mapping is a field-for-field bijection, see
+        :mod:`repro.registry.specs`).
+        """
+        from ..registry.specs import StackSpec
+
+        return StackSpec.from_config(self)
+
     @property
     def total_time(self) -> float:
         """Publication phase plus drain time."""

@@ -16,6 +16,7 @@ this function and tabulating the results.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -136,16 +137,28 @@ def run_experiment(config: ExperimentConfig, keep_system: bool = False) -> Exper
     workload.start(duration=config.duration, start_at=config.round_period)
 
     churn_injector: Optional[ChurnInjector] = None
-    if config.churn_down_probability > 0 and hasattr(system, "registry"):
-        churn_injector = ChurnInjector(
-            simulator,
-            system.registry,
-            period=config.round_period,
-            down_probability=config.churn_down_probability,
-            up_probability=config.churn_up_probability,
-            protected=publishers,
-        )
-        churn_injector.start()
+    if config.churn_down_probability > 0:
+        if hasattr(system, "registry"):
+            churn_injector = ChurnInjector(
+                simulator,
+                system.registry,
+                period=config.round_period,
+                down_probability=config.churn_down_probability,
+                up_probability=config.churn_up_probability,
+                protected=publishers,
+            )
+            churn_injector.start()
+        else:
+            # Dropping requested churn silently would quietly measure a
+            # no-churn run under a churn label; make the skip loud instead.
+            warnings.warn(
+                f"config {config.name!r} requests node churn "
+                f"(churn_down_probability={config.churn_down_probability}) but "
+                f"system {config.system!r} exposes no process registry; "
+                "running WITHOUT node churn",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     subscription_churn: Optional[SubscriptionChurnWorkload] = None
     if config.subscription_churn_rate > 0:

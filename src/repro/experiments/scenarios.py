@@ -1,41 +1,33 @@
 """Scenario builders: turn an :class:`ExperimentConfig` into live objects.
 
-The builders know how to construct every dissemination system in the
-repository behind a single string name, how to pick the membership provider,
-the interest model, and the fairness policy.  They are used by the runner
-and directly by a few benchmarks that need finer control (for example the
-selfish-node experiment, which swaps node classes for part of the
-population).
+Construction is registry-driven: every builder here decomposes the flat
+config into a :class:`~repro.registry.specs.StackSpec` and delegates to the
+component registries (:mod:`repro.registry.builtins`), so new systems,
+membership views, interest models, and policies plug in by *registering*
+rather than by editing dispatch code.  The ``build_*`` functions keep their
+historical flat-config signatures because the runner, the benchmarks, and a
+few examples call them directly (for example the selfish-node experiment,
+which swaps node classes for part of the population).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..brokers import BrokerSystem
-from ..core import (
-    EXPRESSIVE_POLICY,
-    TOPIC_BASED_POLICY,
-    FairGossipSystem,
-    FairnessPolicy,
-    FanoutSchedule,
-    PayloadSchedule,
+from ..core import FairnessPolicy
+from ..registry import (
+    SYSTEMS,
+    BuildContext,
+    StackSpec,
+    build_interest_model,
+    build_popularity as _build_popularity_for_spec,
+    build_stack,
+    resolve_policy_kind,
 )
-from ..damulticast import DataAwareMulticastSystem
-from ..dht import DksSystem, ScribeSystem, SplitStreamSystem
-from ..gossip import GossipSystem, PushPullGossipNode
-from ..membership import cyclon_provider, full_membership_provider, lpbcast_provider
-from ..pubsub.topics import TopicHierarchy
+from ..registry.builtins import MEMBERSHIP
 from ..sim import BernoulliLoss, Network, NoLoss, Simulator
-from ..workloads import (
-    AttributeInterest,
-    CommunityInterest,
-    InterestAssignment,
-    TopicPopularity,
-    UniformInterest,
-    ZipfInterest,
-)
+from ..workloads import TopicPopularity
 from .config import ExperimentConfig
 
 __all__ = [
@@ -46,6 +38,7 @@ __all__ = [
     "build_system",
     "resolve_policy",
     "SYSTEM_NAMES",
+    "system_names",
     "Scenario",
     "register_scenario",
     "get_scenario",
@@ -53,17 +46,14 @@ __all__ = [
     "iter_scenarios",
 ]
 
-#: Names accepted by :func:`build_system`.
-SYSTEM_NAMES = (
-    "gossip",
-    "fair-gossip",
-    "pushpull-gossip",
-    "scribe",
-    "splitstream",
-    "dks",
-    "brokers",
-    "dam",
-)
+def system_names() -> Tuple[str, ...]:
+    """Names accepted by :func:`build_system` (the system registry's keys)."""
+    return tuple(SYSTEMS.names())
+
+
+#: Snapshot of the built-in system names (kept for back-compat; late
+#: registrations appear in :func:`system_names` but not here).
+SYSTEM_NAMES = system_names()
 
 
 def build_simulation(config: ExperimentConfig) -> Tuple[Simulator, Network]:
@@ -75,51 +65,25 @@ def build_simulation(config: ExperimentConfig) -> Tuple[Simulator, Network]:
 
 
 def build_membership_provider(config: ExperimentConfig, network: Network):
-    """Pick the membership provider named in the config."""
-    if config.membership == "full":
-        return full_membership_provider(network)
-    if config.membership == "lpbcast":
-        return lpbcast_provider()
-    if config.membership == "cyclon":
-        return cyclon_provider()
-    raise ValueError(f"unknown membership {config.membership!r}")
+    """Pick the membership provider named in the config (registry lookup)."""
+    spec = StackSpec.from_config(config)
+    context = BuildContext(spec=spec, scheduler=None, network=network, node_ids=spec.node_ids())
+    return MEMBERSHIP.get(spec.membership.kind).factory(context)
 
 
 def build_popularity(config: ExperimentConfig) -> TopicPopularity:
     """Topic popularity for the config (hierarchical for the dam system)."""
-    if config.system == "dam":
-        roots = max(2, config.topics // 4)
-        children = max(2, config.topics // roots)
-        return TopicPopularity.hierarchy(roots, children, exponent=config.topic_exponent)
-    if config.topic_exponent <= 0:
-        return TopicPopularity.uniform(config.topics)
-    return TopicPopularity.zipf(config.topics, exponent=config.topic_exponent)
+    return _build_popularity_for_spec(StackSpec.from_config(config))
 
 
 def build_interest(config: ExperimentConfig, popularity: TopicPopularity):
-    """Interest model for the config."""
-    if config.interest_model == "uniform":
-        return UniformInterest(popularity, topics_per_node=config.topics_per_node)
-    if config.interest_model == "zipf":
-        return ZipfInterest(
-            popularity,
-            min_topics=1,
-            max_topics=config.max_topics_per_node,
-        )
-    if config.interest_model == "community":
-        return CommunityInterest(popularity, topics_per_node=config.topics_per_node)
-    if config.interest_model == "content":
-        return AttributeInterest(filters_per_node=config.topics_per_node)
-    raise ValueError(f"unknown interest model {config.interest_model!r}")
+    """Interest model for the config (registry lookup)."""
+    return build_interest_model(StackSpec.from_config(config), popularity)
 
 
 def resolve_policy(config: ExperimentConfig) -> FairnessPolicy:
-    """The fairness policy named in the config."""
-    if config.fairness_policy in ("expressive", "figure3"):
-        return EXPRESSIVE_POLICY
-    if config.fairness_policy in ("topic", "topic-based", "figure2"):
-        return TOPIC_BASED_POLICY
-    raise ValueError(f"unknown fairness policy {config.fairness_policy!r}")
+    """The fairness policy named in the config (registry lookup)."""
+    return resolve_policy_kind(config.fairness_policy)
 
 
 def build_system(
@@ -128,75 +92,15 @@ def build_system(
     network: Network,
     popularity: Optional[TopicPopularity] = None,
 ):
-    """Build the dissemination system named by ``config.system``."""
-    node_ids = list(config.node_ids())
-    if config.system in ("gossip", "fair-gossip", "pushpull-gossip"):
-        provider = build_membership_provider(config, network)
-        node_kwargs = {
-            "fanout": config.fanout,
-            "gossip_size": config.gossip_size,
-            "round_period": config.round_period,
-        }
-        if config.system == "fair-gossip":
-            node_kwargs.update(
-                {
-                    "fanout_schedule": FanoutSchedule(
-                        base_fanout=config.fanout,
-                        min_fanout=config.min_fanout,
-                        max_fanout=config.max_fanout,
-                    ),
-                    "payload_schedule": PayloadSchedule(
-                        base_payload=config.gossip_size,
-                        min_payload=config.min_payload,
-                        max_payload=config.max_payload,
-                    ),
-                    "policy": resolve_policy(config),
-                    "adapt_fanout": config.adapt_fanout,
-                    "adapt_payload": config.adapt_payload,
-                }
-            )
-            return FairGossipSystem(
-                simulator,
-                network,
-                node_ids,
-                membership_provider=provider,
-                node_kwargs=node_kwargs,
-            )
-        if config.system == "pushpull-gossip":
-            return GossipSystem(
-                simulator,
-                network,
-                node_ids,
-                membership_provider=provider,
-                node_class=PushPullGossipNode,
-                node_kwargs=node_kwargs,
-            )
-        return GossipSystem(
-            simulator,
-            network,
-            node_ids,
-            membership_provider=provider,
-            node_kwargs=node_kwargs,
-        )
-    if config.system == "scribe":
-        return ScribeSystem(simulator, network, node_ids)
-    if config.system == "splitstream":
-        return SplitStreamSystem(simulator, network, node_ids, stripes=config.stripes)
-    if config.system == "dks":
-        return DksSystem(simulator, network, node_ids)
-    if config.system == "brokers":
-        return BrokerSystem(simulator, network, node_ids, broker_count=config.broker_count)
-    if config.system == "dam":
-        hierarchy = TopicHierarchy(popularity.topics if popularity is not None else ())
-        return DataAwareMulticastSystem(
-            simulator,
-            network,
-            node_ids,
-            hierarchy=hierarchy,
-            fanout=config.fanout,
-            delegates_per_root=config.delegates_per_root,
-        )
-    raise ValueError(f"unknown system {config.system!r}; expected one of {SYSTEM_NAMES}")
+    """Build the dissemination system named by ``config.system``.
+
+    Thin flat-config wrapper over :func:`repro.registry.builtins.build_stack`;
+    unknown system names raise a :class:`~repro.registry.base.RegistryError`
+    (a ``ValueError``) listing the registered systems.
+    """
+    return build_stack(
+        StackSpec.from_config(config), simulator, network, popularity=popularity
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -216,6 +120,11 @@ class Scenario:
     name: str
     description: str
     config: ExperimentConfig
+
+    @property
+    def spec(self) -> StackSpec:
+        """The scenario's config decomposed into nested component specs."""
+        return StackSpec.from_config(self.config)
 
 
 _SCENARIOS: Dict[str, Scenario] = {}

@@ -147,3 +147,17 @@ class DisseminationSystem:
     def node_ids(self) -> List[str]:
         """Identifiers of all participants of the system."""
         raise NotImplementedError
+
+    def client_nodes(self) -> Dict[str, object]:
+        """Application-facing nodes, keyed by node id.
+
+        These are the participants that publish, subscribe, and deliver —
+        the nodes a host attaches delivery callbacks to.  Systems with
+        infrastructure-only participants (for example the broker overlay,
+        whose brokers never deliver to an application) override this to
+        exclude them.
+        """
+        nodes = getattr(self, "nodes", None)
+        if nodes is None:
+            raise NotImplementedError(f"{type(self).__name__} exposes no client node map")
+        return nodes

@@ -1,0 +1,491 @@
+"""Built-in component registrations and the registry-driven stack builder.
+
+This module populates the five registries — :data:`SYSTEMS`,
+:data:`MEMBERSHIP`, :data:`INTEREST`, :data:`WORKLOADS`, :data:`POLICIES` —
+with every protocol in the repository, and provides
+:func:`build_stack`: the single construction function both the simulator
+runner and the live runtime call.
+
+System factories receive a :class:`BuildContext` carrying the scheduling
+substrate; because the live :class:`~repro.runtime.scheduler.AsyncScheduler`
+and :class:`~repro.runtime.network.RuntimeNetwork` duck-type the simulator's
+``Simulator``/``Network`` surface, the *same factory* builds a system for
+either world — which is what lets ``python -m repro serve --scenario X``
+run any registered scenario live.
+
+Registering your own protocol::
+
+    from repro.registry import SYSTEMS, Param
+
+    def build_my_system(ctx):
+        return MySystem(ctx.scheduler, ctx.network, list(ctx.node_ids),
+                        fanout=ctx.spec.system.fanout)
+
+    SYSTEMS.register(
+        "my-system", build_my_system,
+        description="What it does and which baseline it answers",
+        params=[Param("fanout", 3, "peers contacted per round")],
+    )
+
+after which ``--system my-system``, ``--set system.kind=my-system``, sweeps,
+caching, and ``serve --scenario`` all pick it up with no dispatch edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
+
+from ..brokers import BrokerSystem
+from ..core import (
+    EXPRESSIVE_POLICY,
+    TOPIC_BASED_POLICY,
+    FairGossipSystem,
+    FairnessPolicy,
+    fair_node_kwargs,
+)
+from ..damulticast import DataAwareMulticastSystem
+from ..dht import DksSystem, ScribeSystem, SplitStreamSystem
+from ..gossip import GossipSystem, PushPullGossipNode
+from ..membership import cyclon_provider, full_membership_provider, lpbcast_provider
+from ..pubsub.topics import TopicHierarchy
+from ..workloads import (
+    AttributeInterest,
+    CommunityInterest,
+    ContentPublicationWorkload,
+    TopicPopularity,
+    TopicPublicationWorkload,
+    UniformInterest,
+    ZipfInterest,
+)
+from .base import Param, Registry
+from .specs import StackSpec
+
+__all__ = [
+    "SYSTEMS",
+    "MEMBERSHIP",
+    "INTEREST",
+    "WORKLOADS",
+    "POLICIES",
+    "BuildContext",
+    "build_stack",
+    "build_popularity",
+    "build_interest_model",
+    "build_workload",
+    "workload_kind",
+    "resolve_policy_kind",
+    "all_registries",
+]
+
+SYSTEMS = Registry("system")
+MEMBERSHIP = Registry("membership")
+INTEREST = Registry("interest model")
+WORKLOADS = Registry("workload")
+POLICIES = Registry("fairness policy")
+
+
+def all_registries() -> Dict[str, Registry]:
+    """The five registries, keyed by their spec section name."""
+    return {
+        "system": SYSTEMS,
+        "membership": MEMBERSHIP,
+        "interest": INTEREST,
+        "workload": WORKLOADS,
+        "policy": POLICIES,
+    }
+
+
+@dataclass
+class BuildContext:
+    """Everything a system factory needs to assemble a stack.
+
+    ``scheduler`` and ``network`` are either the discrete-event pair
+    (:class:`~repro.sim.engine.Simulator`, :class:`~repro.sim.network.Network`)
+    or the live pair (:class:`~repro.runtime.scheduler.AsyncScheduler`,
+    :class:`~repro.runtime.network.RuntimeNetwork`); factories must only use
+    the shared duck-typed surface (``now``, ``rng``, ``schedule*``,
+    ``register``/``send``/``alive_nodes``).
+
+    ``live`` marks runtime builds.  Factories may apply live-only tuning
+    (for example the gossip buffer extras) behind it, but must NOT let it
+    change simulator behaviour: the simulator's config→result function is
+    cache-keyed without a schema bump, so it has to stay exactly as it was.
+    """
+
+    spec: StackSpec
+    scheduler: Any
+    network: Any
+    node_ids: Sequence[str]
+    popularity: Optional[TopicPopularity] = None
+    live: bool = False
+
+    def membership_provider(self):
+        """Build the membership provider named by ``spec.membership.kind``."""
+        return MEMBERSHIP.get(self.spec.membership.kind).factory(self)
+
+    def policy(self) -> FairnessPolicy:
+        """Resolve the fairness policy named by ``spec.policy.kind``."""
+        return POLICIES.get(self.spec.policy.kind).factory(self.spec)
+
+
+# --------------------------------------------------------------- popularity
+
+
+def build_popularity(spec: StackSpec) -> TopicPopularity:
+    """Topic popularity for a spec (hierarchical for the dam system)."""
+    workload = spec.workload
+    if spec.system.kind == "dam":
+        roots = max(2, workload.topics // 4)
+        children = max(2, workload.topics // roots)
+        return TopicPopularity.hierarchy(roots, children, exponent=workload.topic_exponent)
+    if workload.topic_exponent <= 0:
+        return TopicPopularity.uniform(workload.topics)
+    return TopicPopularity.zipf(workload.topics, exponent=workload.topic_exponent)
+
+
+# ------------------------------------------------------------------ systems
+
+
+def _apply_live_extras(kwargs: Dict[str, object], ctx: BuildContext) -> Dict[str, object]:
+    """Apply live-only gossip tuning extras (no-op in simulator builds).
+
+    ``buffer_capacity``/``selection_strategy`` in ``spec.extra`` tune live
+    clusters for wall-clock load.  Simulator builds ignore them so the
+    cached config→result function is bit-identical to pre-registry code.
+    """
+    if ctx.live:
+        extras = ctx.spec.extra_dict()
+        for key in ("buffer_capacity", "selection_strategy"):
+            if key in extras:
+                kwargs[key] = extras[key]
+    return kwargs
+
+
+def _gossip_node_kwargs(ctx: BuildContext) -> Dict[str, object]:
+    """Common gossip node parameters, plus live-tuning extras if live."""
+    spec = ctx.spec
+    kwargs: Dict[str, object] = {
+        "fanout": spec.system.fanout,
+        "gossip_size": spec.system.gossip_size,
+        "round_period": spec.system.round_period,
+    }
+    return _apply_live_extras(kwargs, ctx)
+
+
+def _build_push_gossip(ctx: BuildContext) -> GossipSystem:
+    return GossipSystem(
+        ctx.scheduler,
+        ctx.network,
+        list(ctx.node_ids),
+        membership_provider=ctx.membership_provider(),
+        node_kwargs=_gossip_node_kwargs(ctx),
+    )
+
+
+def _build_fair_gossip(ctx: BuildContext) -> FairGossipSystem:
+    spec = ctx.spec
+    node_kwargs = fair_node_kwargs(
+        fanout=spec.system.fanout,
+        gossip_size=spec.system.gossip_size,
+        round_period=spec.system.round_period,
+        min_fanout=spec.system.min_fanout,
+        max_fanout=spec.system.max_fanout,
+        min_payload=spec.system.min_payload,
+        max_payload=spec.system.max_payload,
+        policy=ctx.policy(),
+        adapt_fanout=spec.system.adapt_fanout,
+        adapt_payload=spec.system.adapt_payload,
+    )
+    node_kwargs = _apply_live_extras(node_kwargs, ctx)
+    return FairGossipSystem(
+        ctx.scheduler,
+        ctx.network,
+        list(ctx.node_ids),
+        membership_provider=ctx.membership_provider(),
+        node_kwargs=node_kwargs,
+    )
+
+
+def _build_pushpull_gossip(ctx: BuildContext) -> GossipSystem:
+    return GossipSystem(
+        ctx.scheduler,
+        ctx.network,
+        list(ctx.node_ids),
+        membership_provider=ctx.membership_provider(),
+        node_class=PushPullGossipNode,
+        node_kwargs=_gossip_node_kwargs(ctx),
+    )
+
+
+def _build_scribe(ctx: BuildContext) -> ScribeSystem:
+    return ScribeSystem(ctx.scheduler, ctx.network, list(ctx.node_ids))
+
+
+def _build_splitstream(ctx: BuildContext) -> SplitStreamSystem:
+    return SplitStreamSystem(
+        ctx.scheduler, ctx.network, list(ctx.node_ids), stripes=ctx.spec.system.stripes
+    )
+
+
+def _build_dks(ctx: BuildContext) -> DksSystem:
+    return DksSystem(ctx.scheduler, ctx.network, list(ctx.node_ids))
+
+
+def _build_brokers(ctx: BuildContext) -> BrokerSystem:
+    return BrokerSystem(
+        ctx.scheduler,
+        ctx.network,
+        list(ctx.node_ids),
+        broker_count=ctx.spec.system.broker_count,
+    )
+
+
+def _build_dam(ctx: BuildContext) -> DataAwareMulticastSystem:
+    hierarchy = TopicHierarchy(
+        ctx.popularity.topics if ctx.popularity is not None else ()
+    )
+    return DataAwareMulticastSystem(
+        ctx.scheduler,
+        ctx.network,
+        list(ctx.node_ids),
+        hierarchy=hierarchy,
+        fanout=ctx.spec.system.fanout,
+        delegates_per_root=ctx.spec.system.delegates_per_root,
+    )
+
+
+_GOSSIP_PARAMS = (
+    Param("fanout", 3, "peers contacted per round (Figure 4's F)"),
+    Param("gossip_size", 8, "events per gossip message (Figure 4's N)"),
+    Param("round_period", 1.0, "gossip round length in time units"),
+)
+
+SYSTEMS.register(
+    "gossip",
+    _build_push_gossip,
+    description="Classic push gossip (Figure 4) over a pluggable membership view",
+    params=_GOSSIP_PARAMS,
+)
+SYSTEMS.register(
+    "fair-gossip",
+    _build_fair_gossip,
+    description="Push gossip with benefit-driven adaptive fanout/payload (§5.2)",
+    params=_GOSSIP_PARAMS
+    + (
+        Param("adapt_fanout", True, "enable the fanout lever"),
+        Param("adapt_payload", True, "enable the payload lever"),
+        Param("min_fanout", 1, "fanout floor (keeps the overlay connected)"),
+        Param("max_fanout", 12, "fanout ceiling"),
+        Param("min_payload", 1, "payload floor"),
+        Param("max_payload", 32, "payload ceiling"),
+        Param("selfish_fraction", 0.0, "fraction of selfish nodes (attack ablations)"),
+    ),
+)
+SYSTEMS.register(
+    "pushpull-gossip",
+    _build_pushpull_gossip,
+    description="Digest/pull gossip variant trading latency for bandwidth",
+    params=_GOSSIP_PARAMS,
+)
+SYSTEMS.register(
+    "scribe",
+    _build_scribe,
+    description="Scribe-style per-topic multicast trees over a Pastry router (§3.1)",
+)
+SYSTEMS.register(
+    "splitstream",
+    _build_splitstream,
+    description="SplitStream striping over Scribe trees (load balance, §3.1)",
+    params=(Param("stripes", 4, "stripe trees per topic"),),
+)
+SYSTEMS.register(
+    "dks",
+    _build_dks,
+    description="DKS-style rendezvous grouping on a DHT (§3.2)",
+)
+SYSTEMS.register(
+    "brokers",
+    _build_brokers,
+    description="Dedicated broker overlay (centralised baseline, §3.3)",
+    params=(Param("broker_count", 2, "number of broker nodes"),),
+)
+SYSTEMS.register(
+    "dam",
+    _build_dam,
+    description="Data-aware multicast: topic-hierarchy groups with delegates (§3.4)",
+    params=(
+        Param("fanout", 3, "in-group gossip fanout"),
+        Param("delegates_per_root", 2, "delegates recruited per root topic"),
+    ),
+)
+
+
+# --------------------------------------------------------------- membership
+
+MEMBERSHIP.register(
+    "cyclon",
+    lambda ctx: cyclon_provider(),
+    description="CYCLON view shuffling (partial views, age-based eviction)",
+)
+MEMBERSHIP.register(
+    "full",
+    lambda ctx: full_membership_provider(ctx.network),
+    description="Full-membership oracle (isolates dissemination from membership noise)",
+)
+MEMBERSHIP.register(
+    "lpbcast",
+    lambda ctx: lpbcast_provider(),
+    description="lpbcast-style piggybacked membership digests",
+)
+
+
+# ----------------------------------------------------------------- interest
+
+INTEREST.register(
+    "uniform",
+    lambda spec, popularity: UniformInterest(
+        popularity, topics_per_node=spec.interest.topics_per_node
+    ),
+    description="Every node subscribes to a fixed number of uniformly drawn topics",
+    params=(Param("topics_per_node", 2, "subscriptions per node"),),
+)
+INTEREST.register(
+    "zipf",
+    lambda spec, popularity: ZipfInterest(
+        popularity, min_topics=1, max_topics=spec.interest.max_topics_per_node
+    ),
+    description="Skewed interest: popular topics attract most subscriptions",
+    params=(Param("max_topics_per_node", 8, "upper bound on subscriptions per node"),),
+)
+INTEREST.register(
+    "community",
+    lambda spec, popularity: CommunityInterest(
+        popularity, topics_per_node=spec.interest.topics_per_node
+    ),
+    description="Clustered interest: communities of nodes share topic sets",
+    params=(Param("topics_per_node", 2, "subscriptions per node"),),
+)
+INTEREST.register(
+    "content",
+    lambda spec, popularity: AttributeInterest(
+        filters_per_node=spec.interest.topics_per_node
+    ),
+    description="Content-based attribute filters instead of topics",
+    params=(Param("topics_per_node", 2, "filters per node"),),
+)
+
+
+def build_interest_model(spec: StackSpec, popularity: TopicPopularity):
+    """Interest model for a spec (registry-backed)."""
+    return INTEREST.get(spec.interest.kind).factory(spec, popularity)
+
+
+# ---------------------------------------------------------------- workloads
+
+
+def _build_topic_workload(system, scheduler, spec, popularity, publishers, interest_model):
+    return TopicPublicationWorkload(
+        system,
+        scheduler,
+        popularity,
+        publishers,
+        rate=spec.workload.publication_rate,
+        event_size=spec.workload.event_size,
+    )
+
+
+def _build_content_workload(system, scheduler, spec, popularity, publishers, interest_model):
+    return ContentPublicationWorkload(
+        system,
+        scheduler,
+        interest_model,
+        publishers,
+        rate=spec.workload.publication_rate,
+    )
+
+
+WORKLOADS.register(
+    "topics",
+    _build_topic_workload,
+    description="Topic events drawn from the popularity distribution",
+    params=(
+        Param("topics", 16, "topic universe size"),
+        Param("topic_exponent", 1.0, "Zipf popularity exponent (0 = uniform)"),
+        Param("publication_rate", 4.0, "events per time unit"),
+        Param("publisher_fraction", 0.25, "fraction of nodes that publish"),
+        Param("event_size", 1, "abstract size units per event"),
+        Param("subscription_churn_rate", 0.0, "subscribe/unsubscribe ops per time unit"),
+        Param("churn_down_probability", 0.0, "per-round node crash probability"),
+        Param("churn_up_probability", 0.5, "per-round node recovery probability"),
+    ),
+)
+WORKLOADS.register(
+    "content",
+    _build_content_workload,
+    description="Attribute events matched against content-based filters",
+    params=(
+        Param("publication_rate", 4.0, "events per time unit"),
+        Param("publisher_fraction", 0.25, "fraction of nodes that publish"),
+    ),
+)
+
+
+def workload_kind(spec: StackSpec) -> str:
+    """Which workload component a spec uses (content-based when interest is)."""
+    return "content" if spec.interest.kind == "content" else "topics"
+
+
+def build_workload(spec: StackSpec, system, scheduler, popularity, publishers, interest_model):
+    """Publication workload for a spec (see :func:`workload_kind`)."""
+    return WORKLOADS.get(workload_kind(spec)).factory(
+        system, scheduler, spec, popularity, publishers, interest_model
+    )
+
+
+# ----------------------------------------------------------------- policies
+
+POLICIES.register(
+    "expressive",
+    lambda spec: EXPRESSIVE_POLICY,
+    description="Figure 3 weights: filter expressiveness scales the benefit term",
+    aliases=("figure3",),
+)
+POLICIES.register(
+    "topic",
+    lambda spec: TOPIC_BASED_POLICY,
+    description="Figure 2 weights: plain topic-count benefit",
+    aliases=("topic-based", "figure2"),
+)
+
+
+def resolve_policy_kind(kind: str) -> FairnessPolicy:
+    """The fairness policy registered under ``kind`` (or an alias)."""
+    return POLICIES.get(kind).factory(None)
+
+
+# -------------------------------------------------------------- build_stack
+
+
+def build_stack(
+    spec: StackSpec,
+    scheduler,
+    network,
+    popularity: Optional[TopicPopularity] = None,
+    live: bool = False,
+):
+    """Build the dissemination system described by ``spec.system``.
+
+    Works against either scheduling substrate (simulator or live runtime);
+    ``live=True`` marks runtime builds (see :class:`BuildContext`).  Unknown
+    kinds raise :class:`~repro.registry.base.RegistryError` listing the
+    registered systems.
+    """
+    context = BuildContext(
+        spec=spec,
+        scheduler=scheduler,
+        network=network,
+        node_ids=list(spec.node_ids()),
+        popularity=popularity,
+        live=live,
+    )
+    return SYSTEMS.get(spec.system.kind).factory(context)

@@ -1,0 +1,418 @@
+"""Declarative stack specification: nested component specs.
+
+A :class:`StackSpec` describes one complete protocol stack as five nested
+component specs — :class:`SystemSpec`, :class:`MembershipSpec`,
+:class:`InterestSpec`, :class:`WorkloadSpec`, :class:`PolicySpec` — plus the
+run-level fields (name, nodes, seed, duration, drain, loss).  It is the one
+construction vocabulary shared by the simulator
+(:func:`repro.experiments.runner.run_experiment`) and the live runtime
+(``python -m repro serve --scenario ...``): both worlds hand the same spec
+to :func:`repro.registry.builtins.build_stack`.
+
+Back-compat contract
+--------------------
+The flat :class:`~repro.experiments.config.ExperimentConfig` remains the
+*canonical cache identity*: :meth:`StackSpec.from_config` /
+:meth:`StackSpec.to_config` are an exact field-for-field bijection (driven
+by :data:`FLAT_TO_PATH`), so a spec round-trip never changes a cache key,
+and :meth:`StackSpec.from_dict` accepts both the nested encoding and the
+legacy flat dicts found in PR-1 cache artifacts.
+
+Dotted paths
+------------
+Every field is addressable by a dotted path (``system.fanout``,
+``membership.kind``, ``nodes``); the CLI's ``--set``/``--sweep`` use
+:meth:`StackSpec.with_values` and :func:`resolve_config_key`.  Legacy flat
+field names (``fanout``) remain accepted as aliases of their path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .base import RegistryError, suggest
+
+__all__ = [
+    "SystemSpec",
+    "MembershipSpec",
+    "InterestSpec",
+    "WorkloadSpec",
+    "PolicySpec",
+    "StackSpec",
+    "FLAT_TO_PATH",
+    "PATH_TO_FLAT",
+    "spec_paths",
+    "resolve_config_key",
+    "resolve_spec_path",
+    "parse_scalar",
+    "parse_spec_overrides",
+]
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Which dissemination system to build, and its protocol parameters.
+
+    Parameters irrelevant to the chosen ``kind`` are carried anyway (at
+    their defaults) so the flat-config bijection stays exact; each
+    component's registry entry documents the subset it actually reads.
+    """
+
+    kind: str = "gossip"
+    fanout: int = 3
+    gossip_size: int = 8
+    round_period: float = 1.0
+    broker_count: int = 2
+    stripes: int = 4
+    delegates_per_root: int = 2
+    adapt_fanout: bool = True
+    adapt_payload: bool = True
+    min_fanout: int = 1
+    max_fanout: int = 12
+    min_payload: int = 1
+    max_payload: int = 32
+    selfish_fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class MembershipSpec:
+    """Which peer-sampling service backs the gossip systems."""
+
+    kind: str = "cyclon"
+
+
+@dataclass(frozen=True)
+class InterestSpec:
+    """How subscriptions are assigned to nodes."""
+
+    kind: str = "zipf"
+    topics_per_node: int = 2
+    max_topics_per_node: int = 8
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Topic universe, publication traffic, and churn injection."""
+
+    topics: int = 16
+    topic_exponent: float = 1.0
+    publication_rate: float = 4.0
+    publisher_fraction: float = 0.25
+    event_size: int = 1
+    subscription_churn_rate: float = 0.0
+    churn_down_probability: float = 0.0
+    churn_up_probability: float = 0.5
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Which fairness policy weights measurement (and the adaptive levers)."""
+
+    kind: str = "expressive"
+
+
+#: Flat :class:`ExperimentConfig` field → dotted spec path.  This mapping is
+#: the single source of truth for the flat/nested bijection; every config
+#: field appears exactly once.
+FLAT_TO_PATH: Dict[str, str] = {
+    "name": "name",
+    "nodes": "nodes",
+    "seed": "seed",
+    "duration": "duration",
+    "drain_time": "drain_time",
+    "loss_rate": "loss_rate",
+    "extra": "extra",
+    "system": "system.kind",
+    "fanout": "system.fanout",
+    "gossip_size": "system.gossip_size",
+    "round_period": "system.round_period",
+    "broker_count": "system.broker_count",
+    "stripes": "system.stripes",
+    "delegates_per_root": "system.delegates_per_root",
+    "adapt_fanout": "system.adapt_fanout",
+    "adapt_payload": "system.adapt_payload",
+    "min_fanout": "system.min_fanout",
+    "max_fanout": "system.max_fanout",
+    "min_payload": "system.min_payload",
+    "max_payload": "system.max_payload",
+    "selfish_fraction": "system.selfish_fraction",
+    "membership": "membership.kind",
+    "interest_model": "interest.kind",
+    "topics_per_node": "interest.topics_per_node",
+    "max_topics_per_node": "interest.max_topics_per_node",
+    "topics": "workload.topics",
+    "topic_exponent": "workload.topic_exponent",
+    "publication_rate": "workload.publication_rate",
+    "publisher_fraction": "workload.publisher_fraction",
+    "event_size": "workload.event_size",
+    "subscription_churn_rate": "workload.subscription_churn_rate",
+    "churn_down_probability": "workload.churn_down_probability",
+    "churn_up_probability": "workload.churn_up_probability",
+    "fairness_policy": "policy.kind",
+}
+
+#: Dotted spec path → flat config field (inverse of :data:`FLAT_TO_PATH`).
+PATH_TO_FLAT: Dict[str, str] = {path: flat for flat, path in FLAT_TO_PATH.items()}
+
+_SECTIONS: Tuple[Tuple[str, type], ...] = (
+    ("system", SystemSpec),
+    ("membership", MembershipSpec),
+    ("interest", InterestSpec),
+    ("workload", WorkloadSpec),
+    ("policy", PolicySpec),
+)
+
+
+def spec_paths() -> List[str]:
+    """Every settable dotted path, in flat-field order."""
+    return list(PATH_TO_FLAT)
+
+
+def resolve_spec_path(key: str) -> str:
+    """Normalise a CLI key (dotted path or legacy flat name) to a dotted path.
+
+    Unknown keys raise :class:`RegistryError` with a did-you-mean suggestion
+    drawn from both vocabularies.
+    """
+    if key in PATH_TO_FLAT:
+        return key
+    if key in FLAT_TO_PATH:
+        return FLAT_TO_PATH[key]
+    raise RegistryError(
+        f"unknown config key {key!r}{suggest(key, list(PATH_TO_FLAT) + list(FLAT_TO_PATH))}; "
+        f"known paths: {', '.join(spec_paths())}"
+    )
+
+
+def resolve_config_key(key: str) -> str:
+    """Normalise a CLI key (dotted path or flat name) to the flat field name."""
+    return PATH_TO_FLAT[resolve_spec_path(key)]
+
+
+def parse_scalar(text: str):
+    """Parse a CLI value: int, then float, then bool, falling back to str."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    lowered = text.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    return text
+
+
+def parse_spec_overrides(pairs) -> Dict[str, object]:
+    """Turn ``path=value`` strings into a dotted-path override mapping.
+
+    Accepts dotted spec paths (``system.fanout=5``) and legacy flat field
+    names (``fanout=5``); unknown keys raise :class:`RegistryError` with a
+    did-you-mean suggestion.  ``extra`` is structured and cannot be set this
+    way.
+    """
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise RegistryError(f"expected path=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        path = resolve_spec_path(key.strip())
+        if path == "extra":
+            raise RegistryError("config field 'extra' is structured and cannot be set from the CLI")
+        overrides[path] = parse_scalar(raw.strip())
+    return overrides
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """A complete, declarative description of one protocol stack.
+
+    The nested component specs say *what to build* (each ``kind`` is looked
+    up in its registry); the run-level fields say how big, how long, and how
+    reproducibly.  ``extra`` carries free-form ``(key, value)`` pairs for
+    component-specific knobs outside the fixed schema (for example
+    ``buffer_capacity`` / ``selection_strategy`` on live gossip nodes).
+    """
+
+    name: str = "experiment"
+    nodes: int = 128
+    seed: int = 1
+    duration: float = 40.0
+    drain_time: float = 15.0
+    loss_rate: float = 0.0
+    system: SystemSpec = field(default_factory=SystemSpec)
+    membership: MembershipSpec = field(default_factory=MembershipSpec)
+    interest: InterestSpec = field(default_factory=InterestSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    extra: Tuple[Tuple[str, object], ...] = ()
+
+    # ------------------------------------------------------------ flat adapter
+
+    @staticmethod
+    def from_config(config) -> "StackSpec":
+        """Decompose a flat :class:`ExperimentConfig` into nested specs."""
+        values: Dict[str, object] = {}
+        sections: Dict[str, Dict[str, object]] = {name: {} for name, _ in _SECTIONS}
+        for flat, path in FLAT_TO_PATH.items():
+            value = getattr(config, flat)
+            if "." in path:
+                section, attr = path.split(".", 1)
+                sections[section][attr] = value
+            else:
+                values[path] = value
+        for section, spec_class in _SECTIONS:
+            values[section] = spec_class(**sections[section])
+        return StackSpec(**values)
+
+    def to_config(self):
+        """Recompose the flat :class:`ExperimentConfig` (exact inverse)."""
+        from ..experiments.config import ExperimentConfig
+
+        return ExperimentConfig(
+            **{flat: self.get(path) for flat, path in FLAT_TO_PATH.items()}
+        )
+
+    # ------------------------------------------------------------ dict codecs
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested JSON-serializable form; inverse of :meth:`from_dict`."""
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "nodes": self.nodes,
+            "seed": self.seed,
+            "duration": self.duration,
+            "drain_time": self.drain_time,
+            "loss_rate": self.loss_rate,
+            "extra": [[key, value] for key, value in self.extra],
+        }
+        for section, _ in _SECTIONS:
+            spec = getattr(self, section)
+            payload[section] = {
+                spec_field.name: getattr(spec, spec_field.name) for spec_field in fields(spec)
+            }
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "StackSpec":
+        """Rebuild a spec from nested *or* legacy flat dictionaries.
+
+        Legacy dicts (``ExperimentConfig.to_dict()`` output, as stored in
+        PR-1 cache artifacts) are detected by their flat shape — ``system``
+        is a string and component fields sit at top level — and adapted via
+        :class:`ExperimentConfig`, so old artifacts keep resolving to the
+        same spec (and therefore the same cache key).
+        """
+        if StackSpec._is_legacy(payload):
+            from ..experiments.config import ExperimentConfig
+
+            return StackSpec.from_config(ExperimentConfig.from_dict(payload))
+
+        section_names = {name for name, _ in _SECTIONS}
+        top_level = {"name", "nodes", "seed", "duration", "drain_time", "loss_rate", "extra"}
+        unknown = [key for key in payload if key not in section_names | top_level]
+        if unknown:
+            known = sorted(section_names | top_level)
+            raise RegistryError(
+                f"unknown StackSpec fields {sorted(unknown)}"
+                f"{suggest(unknown[0], known)}; known fields: {', '.join(known)}"
+            )
+        values: Dict[str, object] = {
+            key: payload[key] for key in top_level if key in payload and key != "extra"
+        }
+        if "extra" in payload:
+            values["extra"] = tuple((key, value) for key, value in payload["extra"])
+        for section, spec_class in _SECTIONS:
+            entry = payload.get(section)
+            if entry is None:
+                continue
+            if not isinstance(entry, Mapping):
+                raise RegistryError(
+                    f"StackSpec section {section!r} must be a mapping, got {type(entry).__name__}"
+                )
+            valid = {spec_field.name for spec_field in fields(spec_class)}
+            bad = [key for key in entry if key not in valid]
+            if bad:
+                raise RegistryError(
+                    f"unknown {section} spec fields {sorted(bad)}"
+                    f"{suggest(bad[0], valid)}; known fields: {', '.join(sorted(valid))}"
+                )
+            values[section] = spec_class(**entry)
+        return StackSpec(**values)
+
+    @staticmethod
+    def _is_legacy(payload: Mapping[str, object]) -> bool:
+        """Whether a dict uses the flat ``ExperimentConfig`` encoding."""
+        if isinstance(payload.get("system"), str) or isinstance(payload.get("membership"), str):
+            return True
+        # "system" and "membership" are both flat fields and section names,
+        # so only the unambiguous flat fields count as legacy evidence.
+        shared = {"name", "nodes", "seed", "duration", "drain_time", "loss_rate", "extra"}
+        sections = {name for name, _ in _SECTIONS}
+        flat_only = set(FLAT_TO_PATH) - shared - sections
+        return any(key in payload for key in flat_only)
+
+    # --------------------------------------------------------- dotted access
+
+    def get(self, path: str):
+        """Value at a dotted path (``"system.fanout"``, ``"nodes"``)."""
+        path = resolve_spec_path(path)
+        if "." not in path:
+            return getattr(self, path)
+        section, attr = path.split(".", 1)
+        return getattr(getattr(self, section), attr)
+
+    def with_value(self, path: str, value) -> "StackSpec":
+        """Copy with one dotted path replaced (types gently coerced).
+
+        An ``int`` assigned to a ``float``-typed field is widened so CLI
+        overrides like ``--set duration=5`` hash identically to ``5.0``.
+        """
+        path = resolve_spec_path(path)
+        current = self.get(path)
+        if isinstance(current, float) and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+        if "." not in path:
+            return replace(self, **{path: value})
+        section, attr = path.split(".", 1)
+        updated = replace(getattr(self, section), **{attr: value})
+        return replace(self, **{section: updated})
+
+    def with_values(self, overrides: Mapping[str, object]) -> "StackSpec":
+        """Copy with several dotted-path overrides applied."""
+        spec = self
+        for path, value in overrides.items():
+            spec = spec.with_value(path, value)
+        return spec
+
+    # ------------------------------------------------------------ conveniences
+
+    def extra_dict(self) -> Dict[str, object]:
+        """The free-form extras as a dictionary."""
+        return dict(self.extra)
+
+    @property
+    def total_time(self) -> float:
+        """Publication phase plus drain time."""
+        return self.duration + self.drain_time
+
+    def node_ids(self) -> Tuple[str, ...]:
+        """The participant names used by every scenario."""
+        return tuple(f"node-{index:03d}" for index in range(self.nodes))
+
+    def publisher_ids(self) -> Tuple[str, ...]:
+        """The subset of nodes allowed to publish."""
+        count = max(1, int(self.nodes * self.workload.publisher_fraction))
+        return self.node_ids()[:count]
+
+    def describe(self) -> str:
+        """Readable ``section.field = value`` listing of the resolved spec."""
+        lines = [f"{path} = {self.get(path)!r}" for path in spec_paths() if path != "extra"]
+        if self.extra:
+            lines.append(f"extra = {dict(self.extra)!r}")
+        return "\n".join(lines)

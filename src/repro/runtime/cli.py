@@ -8,11 +8,19 @@ achieved events/sec, delivery latency percentiles, delivery ratio, and the
 fairness headline, which is what ``benchmarks/bench_rt_throughput.py``
 consumes.
 
-Both commands build the cluster from the same workload vocabulary as the
-simulator experiments (Zipf topic popularity, zipf/uniform/community/content
-interest models), so a live run and a simulated run of the same shape are
-directly comparable — the property the runtime-vs-simulator parity test
-checks.
+Both commands build from the same declarative vocabulary as the simulator:
+
+* ``--scenario NAME`` resolves a registered scenario to its
+  :class:`~repro.registry.specs.StackSpec` and builds *any* registered
+  system — gossip or baseline — through the component registry
+  (:func:`repro.registry.builtins.build_stack`), so every scenario the
+  simulator can run also runs live.  ``--set system.kind=brokers`` style
+  dotted overrides adjust the spec.
+* Without ``--scenario``, the classic flag set assembles a live gossip
+  cluster directly (the PR-2 behaviour, unchanged).
+
+Either way a live run and a simulated run of the same shape are directly
+comparable — the property the runtime-vs-simulator parity test checks.
 """
 
 from __future__ import annotations
@@ -21,11 +29,12 @@ import argparse
 import asyncio
 import json
 import os
-from typing import Dict, Optional, Tuple
+from typing import Dict, NamedTuple, Optional
 
 from ..analysis.reliability import measure_reliability
 from ..membership.cyclon import cyclon_provider
 from ..membership.lpbcast import lpbcast_provider
+from ..registry import StackSpec, build_interest_model, build_popularity
 from ..sim.rng import RngRegistry
 from ..workloads.interest import (
     AttributeInterest,
@@ -39,7 +48,12 @@ from .host import DELIVERIES_METRIC, PUBLISHED_METRIC, NodeHost
 from .loadgen import LoadGenerator
 from .transport import MemoryTransport, TcpTransport, Transport, UdpTransport
 
-__all__ = ["add_runtime_subcommands", "build_live_cluster", "RUNTIME_ARTIFACT_SCHEMA"]
+__all__ = [
+    "add_runtime_subcommands",
+    "build_live_cluster",
+    "LiveCluster",
+    "RUNTIME_ARTIFACT_SCHEMA",
+]
 
 TRANSPORT_NAMES = ("memory", "udp", "tcp")
 INTEREST_NAMES = ("zipf", "uniform", "community", "content")
@@ -47,6 +61,56 @@ MEMBERSHIP_NAMES = ("cyclon", "lpbcast")
 
 #: Schema tag written into ``--json`` artifacts of the runtime commands.
 RUNTIME_ARTIFACT_SCHEMA = "rt-load/v1"
+
+#: Defaults of the flags that overlap the StackSpec vocabulary.  They are
+#: declared with ``default=None`` so a scenario run can tell "explicitly
+#: set" (overrides the spec) from "absent" (the spec governs); the classic
+#: path fills the gaps from this table.
+LEGACY_FLAG_DEFAULTS: Dict[str, object] = {
+    "nodes": 25,
+    "seed": 2007,
+    "topics": 8,
+    "topic_exponent": 1.0,
+    "interest": "zipf",
+    "topics_per_node": 2,
+    "max_topics_per_node": 4,
+    "fanout": 5,
+    "gossip_size": 24,
+    "round_period": 1.0,
+    "membership": "cyclon",
+    "buffer_capacity": 4000,
+    "selection_strategy": "least-forwarded",
+}
+
+#: Flag name → dotted spec path, for scenario-mode overrides.
+_FLAG_TO_PATH = {
+    "nodes": "nodes",
+    "seed": "seed",
+    "topics": "workload.topics",
+    "topic_exponent": "workload.topic_exponent",
+    "interest": "interest.kind",
+    "topics_per_node": "interest.topics_per_node",
+    "max_topics_per_node": "interest.max_topics_per_node",
+    "fanout": "system.fanout",
+    "gossip_size": "system.gossip_size",
+    "round_period": "system.round_period",
+    "membership": "membership.kind",
+}
+
+_GOSSIP_KINDS = ("gossip", "fair-gossip", "pushpull-gossip")
+
+
+class LiveCluster(NamedTuple):
+    """A built-but-not-started live cluster and its workload."""
+
+    host: NodeHost
+    generator: LoadGenerator
+    interest: InterestAssignment
+    #: Spec-built hosts create their nodes on ``start()``, so interest must
+    #: be applied afterwards; the classic path applies it at build time.
+    apply_interest_after_start: bool
+    #: The resolved StackSpec (``None`` on the classic flag-driven path).
+    spec: Optional[StackSpec]
 
 
 def _build_transport(args: argparse.Namespace) -> Transport:
@@ -59,10 +123,65 @@ def _build_transport(args: argparse.Namespace) -> Transport:
     raise SystemExit(f"unknown transport {args.transport!r}; expected one of {TRANSPORT_NAMES}")
 
 
-def build_live_cluster(
-    args: argparse.Namespace,
-) -> Tuple[NodeHost, LoadGenerator, InterestAssignment]:
-    """Build (but do not start) a host, its load generator, and interests."""
+def _resolve_spec(args: argparse.Namespace) -> StackSpec:
+    """Scenario spec plus explicit flag overrides plus ``--set`` paths."""
+    from ..experiments.scenarios import get_scenario
+    from ..registry import RegistryError, parse_spec_overrides
+
+    try:
+        spec = get_scenario(args.scenario).spec
+    except KeyError as error:
+        raise SystemExit(error.args[0])
+    for flag, path in _FLAG_TO_PATH.items():
+        value = getattr(args, flag, None)
+        if value is not None:
+            spec = spec.with_value(path, value)
+    try:
+        spec = spec.with_values(parse_spec_overrides(args.set or []))
+    except RegistryError as error:
+        raise SystemExit(str(error))
+    if spec.system.kind in _GOSSIP_KINDS:
+        # Live clusters push far more events per time unit than the default
+        # simulator scenarios; give gossip nodes the live buffer tuning.
+        # Explicit flags override the spec; absent both, the live defaults
+        # fill in.  These extras only take effect in live builds — the
+        # simulator's config→result function never reads them.
+        extras = spec.extra_dict()
+        for key, flag_value in (
+            ("buffer_capacity", args.buffer_capacity),
+            ("selection_strategy", args.selection_strategy),
+        ):
+            if flag_value is not None:
+                extras[key] = flag_value
+            else:
+                extras.setdefault(key, LEGACY_FLAG_DEFAULTS[key])
+        spec = spec.with_value("extra", tuple(sorted(extras.items())))
+    return spec
+
+
+def _build_from_spec(args: argparse.Namespace) -> LiveCluster:
+    spec = _resolve_spec(args)
+    transport = _build_transport(args)
+    host = NodeHost(transport, seed=spec.seed, time_scale=args.time_scale, spec=spec)
+    popularity = build_popularity(spec)
+    interest_model = build_interest_model(spec, popularity)
+    # Same stream name as the simulator runner, so a live cluster and a
+    # simulated run of the same seed get identical interest assignments.
+    interest_rng = RngRegistry(spec.seed).stream("experiment-interest")
+    node_ids = list(spec.node_ids())
+    interest = interest_model.assign(node_ids, interest_rng)
+    attribute_model = interest_model if isinstance(interest_model, AttributeInterest) else None
+    generator = LoadGenerator(
+        host,
+        rate=args.rate,
+        popularity=None if attribute_model is not None else popularity,
+        attribute_model=attribute_model,
+        publishers=list(spec.publisher_ids()),
+    )
+    return LiveCluster(host, generator, interest, apply_interest_after_start=True, spec=spec)
+
+
+def _build_classic(args: argparse.Namespace) -> LiveCluster:
     transport = _build_transport(args)
     provider = (
         lpbcast_provider() if args.membership == "lpbcast" else cyclon_provider()
@@ -116,7 +235,22 @@ def build_live_cluster(
         popularity=None if attribute_model is not None else popularity,
         attribute_model=attribute_model,
     )
-    return host, generator, interest
+    return LiveCluster(host, generator, interest, apply_interest_after_start=False, spec=None)
+
+
+def build_live_cluster(args: argparse.Namespace) -> LiveCluster:
+    """Build (but do not start) a host, its load generator, and interests.
+
+    With ``--scenario`` the cluster is built from the scenario's
+    :class:`StackSpec` through the component registry (any registered system
+    runs); otherwise the classic flag-driven gossip cluster is assembled.
+    """
+    if getattr(args, "scenario", None):
+        return _build_from_spec(args)
+    for flag, default in LEGACY_FLAG_DEFAULTS.items():
+        if getattr(args, flag, None) is None:
+            setattr(args, flag, default)
+    return _build_classic(args)
 
 
 def _write_artifact(path: str, artifact: Dict[str, object]) -> None:
@@ -129,8 +263,11 @@ def _write_artifact(path: str, artifact: Dict[str, object]) -> None:
 
 
 async def _run_live(args: argparse.Namespace, live_report: bool) -> Dict[str, object]:
-    host, generator, _ = build_live_cluster(args)
+    cluster = build_live_cluster(args)
+    host, generator = cluster.host, cluster.generator
     await host.start()
+    if cluster.apply_interest_after_start:
+        cluster.interest.apply(host)
     reporter: Optional[asyncio.Task] = None
     if live_report:
 
@@ -162,12 +299,19 @@ async def _run_live(args: argparse.Namespace, live_report: bool) -> Dict[str, ob
             reporter.cancel()
         await host.stop()
 
+    round_period = args.round_period
+    if round_period is None:
+        round_period = (
+            cluster.spec.system.round_period
+            if cluster.spec is not None
+            else LEGACY_FLAG_DEFAULTS["round_period"]
+        )
     summary = host.fairness_summary(system_name=f"live/{args.transport}")
     reliability = measure_reliability(
         generator.schedule.events,
         host.delivery_log,
         host.subscriptions,
-        round_period=args.round_period,
+        round_period=round_period,
     )
     # Latency and deliveries settle during the drain window; re-read them
     # after the run and widen the delivery-rate window accordingly.
@@ -188,8 +332,10 @@ async def _run_live(args: argparse.Namespace, live_report: bool) -> Dict[str, ob
     return {
         "schema": RUNTIME_ARTIFACT_SCHEMA,
         "transport": args.transport,
-        "nodes": args.nodes,
-        "seed": args.seed,
+        "scenario": getattr(args, "scenario", None),
+        "system": host.system.name if host.system is not None else "live-gossip",
+        "nodes": len(host.nodes),
+        "seed": cluster.spec.seed if cluster.spec is not None else args.seed,
         "time_scale": args.time_scale,
         "duration_seconds": args.duration,
         "load": load.to_dict(),
@@ -217,7 +363,23 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
 
 def _add_common_runtime_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--nodes", type=int, default=25, help="cluster size (default: 25)")
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="build the cluster from a registered scenario's StackSpec "
+        "(any registered system runs live; see list-scenarios)",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        metavar="PATH=VALUE",
+        help="with --scenario: override a spec path (e.g. system.kind=brokers, "
+        "system.fanout=5, membership.kind=lpbcast); repeatable",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="cluster size (default: 25)"
+    )
     parser.add_argument(
         "--transport",
         default="memory",
@@ -243,37 +405,46 @@ def _add_common_runtime_options(parser: argparse.ArgumentParser) -> None:
         default=1.0,
         help="extra real seconds after the load stops so in-flight events settle",
     )
-    parser.add_argument("--seed", type=int, default=2007, help="master seed (default: 2007)")
-    parser.add_argument("--topics", type=int, default=8, help="topic count (default: 8)")
+    parser.add_argument("--seed", type=int, default=None, help="master seed (default: 2007)")
+    parser.add_argument("--topics", type=int, default=None, help="topic count (default: 8)")
     parser.add_argument(
-        "--topic-exponent", type=float, default=1.0, help="Zipf exponent, 0 = uniform"
+        "--topic-exponent", type=float, default=None, help="Zipf exponent, 0 = uniform"
     )
     parser.add_argument(
-        "--interest", default="zipf", choices=INTEREST_NAMES, help="interest model (default: zipf)"
+        "--interest",
+        default=None,
+        choices=INTEREST_NAMES,
+        help="interest model (default: zipf)",
     )
-    parser.add_argument("--topics-per-node", type=int, default=2)
-    parser.add_argument("--max-topics-per-node", type=int, default=4)
-    parser.add_argument("--fanout", type=int, default=5, help="gossip fanout F (default: 5)")
+    parser.add_argument("--topics-per-node", type=int, default=None)
+    parser.add_argument("--max-topics-per-node", type=int, default=None)
+    parser.add_argument("--fanout", type=int, default=None, help="gossip fanout F (default: 5)")
     parser.add_argument(
-        "--gossip-size", type=int, default=24, help="events per gossip message N (default: 24)"
+        "--gossip-size", type=int, default=None, help="events per gossip message N (default: 24)"
     )
     parser.add_argument(
         "--buffer-capacity",
         type=int,
-        default=4000,
+        default=None,
         help="per-node event buffer capacity (default: 4000)",
     )
     parser.add_argument(
         "--selection-strategy",
-        default="least-forwarded",
+        default=None,
         choices=("random", "newest", "oldest", "least-forwarded"),
         help="SELECTEVENTS strategy (default: least-forwarded)",
     )
     parser.add_argument(
-        "--round-period", type=float, default=1.0, help="gossip round length in time units"
+        "--round-period",
+        type=float,
+        default=None,
+        help="gossip round length in time units (default: 1.0)",
     )
     parser.add_argument(
-        "--membership", default="cyclon", choices=MEMBERSHIP_NAMES, help="peer sampling service"
+        "--membership",
+        default=None,
+        choices=MEMBERSHIP_NAMES,
+        help="peer sampling service (default: cyclon)",
     )
     parser.add_argument("--bind-host", default="127.0.0.1", help="socket transports: bind host")
     parser.add_argument(

@@ -36,6 +36,7 @@ from ..pubsub.subscriptions import SubscriptionTable
 from ..sim.metrics import MetricsRegistry
 from ..sim.node import ProcessRegistry
 from ..sim.rng import RngRegistry
+from ..registry import StackSpec, build_popularity, build_stack
 from .clock import WallClock
 from .network import RuntimeNetwork
 from .scheduler import AsyncScheduler
@@ -79,6 +80,7 @@ class NodeHost(DisseminationSystem):
         ledger: Optional[WorkLedger] = None,
         delivery_log: Optional[DeliveryLog] = None,
         metrics: Optional[MetricsRegistry] = None,
+        spec: Optional[StackSpec] = None,
     ) -> None:
         self.clock = WallClock(time_scale=time_scale)
         self.scheduler = AsyncScheduler(self.clock, RngRegistry(seed))
@@ -96,6 +98,13 @@ class NodeHost(DisseminationSystem):
         self._provider = (
             membership_provider if membership_provider is not None else cyclon_provider()
         )
+        #: In spec mode the host builds a complete registered system through
+        #: the component registry on :meth:`start` (timers need the running
+        #: asyncio loop) and delegates the §2 API to it.
+        self._spec = spec
+        self.system: Optional[DisseminationSystem] = None
+        if spec is not None:
+            self.name = f"live-{spec.system.kind}"
         self._started = False
 
     # --------------------------------------------------------------- wiring
@@ -123,6 +132,10 @@ class NodeHost(DisseminationSystem):
         **overrides,
     ) -> PushGossipNode:
         """Create (but do not start) one hosted node."""
+        if self._spec is not None:
+            raise ValueError(
+                "this host builds its nodes from a StackSpec; set spec.nodes instead"
+            )
         if node_id in self.nodes:
             raise ValueError(f"duplicate node id {node_id!r}")
         kwargs = dict(self._node_kwargs)
@@ -160,14 +173,49 @@ class NodeHost(DisseminationSystem):
     # ------------------------------------------------------------- lifecycle
 
     async def start(self, bootstrap_degree: int = 10) -> None:
-        """Start the transport, bootstrap membership, and start every node."""
+        """Start the transport, build/bootstrap the stack, start every node.
+
+        In spec mode the registered system is constructed *here* rather than
+        in ``__init__`` because protocol timers schedule against the running
+        asyncio loop.
+        """
         if self._started:
             return
         await self.transport.start()
-        self.bootstrap(bootstrap_degree)
-        for node in self.nodes.values():
-            node.start()
+        if self._spec is not None:
+            if self.system is None:
+                self._build_from_spec(self._spec)
+        else:
+            self.bootstrap(bootstrap_degree)
+            for node in self.nodes.values():
+                node.start()
         self._started = True
+
+    def _build_from_spec(self, spec: StackSpec) -> None:
+        """Build the system named by ``spec.system.kind`` and adopt it."""
+        popularity = build_popularity(spec)
+        system = build_stack(
+            spec, self.scheduler, self.network, popularity=popularity, live=True
+        )
+        self.adopt_system(system)
+
+    def adopt_system(self, system: DisseminationSystem) -> None:
+        """Host an externally built system: share its state, observe deliveries.
+
+        The host's ledger, delivery log, and subscription table become the
+        system's own (so live fairness/reliability reports read the real
+        data), and the host's latency/delivery metrics hook into every
+        application-facing node.
+        """
+        self.system = system
+        self.ledger = system.ledger
+        self._delivery_log = system.delivery_log
+        self.subscriptions = system.subscriptions
+        if hasattr(system, "registry"):
+            self.registry = system.registry
+        self.nodes = dict(system.client_nodes())
+        for node in self.nodes.values():
+            node.add_delivery_callback(self._record_delivery)
 
     async def stop(self) -> None:
         """Stop all timers and tear the transport down."""
@@ -185,6 +233,10 @@ class NodeHost(DisseminationSystem):
 
     def publish(self, publisher_id: str, event: Optional[Event] = None, **attributes) -> Event:
         """Publish an event from ``publisher_id`` (same API as GossipSystem)."""
+        if self.system is not None:
+            event = self.system.publish(publisher_id, event=event, **attributes)
+            self.metrics.increment(PUBLISHED_METRIC)
+            return event
         if event is None:
             factory = self._factories[publisher_id]
             topic = attributes.pop("topic", None)
@@ -201,6 +253,9 @@ class NodeHost(DisseminationSystem):
         subscription_filter: Filter,
         callbacks: Sequence[DeliveryCallback] = (),
     ) -> None:
+        if self.system is not None:
+            self.system.subscribe(node_id, subscription_filter, callbacks=callbacks)
+            return
         node = self.nodes[node_id]
         if node.subscribe(subscription_filter):
             self.subscriptions.subscribe(
@@ -210,6 +265,9 @@ class NodeHost(DisseminationSystem):
             node.add_delivery_callback(callback)
 
     def unsubscribe(self, node_id: str, subscription_filter: Filter) -> None:
+        if self.system is not None:
+            self.system.unsubscribe(node_id, subscription_filter)
+            return
         node = self.nodes[node_id]
         if node.unsubscribe(subscription_filter):
             self.subscriptions.unsubscribe(

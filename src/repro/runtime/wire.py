@@ -22,6 +22,10 @@ import json
 import struct
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..brokers import broker as _broker
+from ..damulticast import dam as _dam
+from ..dht import dks as _dks
+from ..dht import scribe as _scribe
 from ..gossip.push import GossipMessage
 from ..gossip.pushpull import DigestMessage, PullRequest
 from ..membership.cyclon import ShufflePayload
@@ -152,6 +156,13 @@ _CODECS: Dict[str, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {
     SUBSCRIBE_KIND: (_encode_filter, filter_from_dict),
     UNSUBSCRIBE_KIND: (_encode_filter, filter_from_dict),
 }
+
+# Baseline protocol payloads (brokers, Scribe/SplitStream trees, DKS groups,
+# data-aware multicast) serialize next to the protocol code that owns them;
+# merging their codec tables here is what lets ``serve --scenario`` run the
+# non-gossip baselines on real transports.
+for _module in (_broker, _scribe, _dks, _dam):
+    _CODECS.update(_module.WIRE_CODECS)
 
 
 # ------------------------------------------------------------------ envelope

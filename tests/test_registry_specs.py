@@ -1,0 +1,327 @@
+"""Tests for the component registry and the declarative StackSpec.
+
+Covers the back-compat contract of the construction redesign:
+
+* nested ``to_dict``/``from_dict`` round-trips and the flat↔nested bijection
+  (``StackSpec.from_config(c).to_config() == c`` for every config);
+* the legacy flat-dict adapter: a PR-1 cache artifact's config dict loads
+  through ``StackSpec.from_dict`` and resolves to the *identical* cache key
+  (pinned sha256 literals);
+* pinned experiment results for two scenarios — the registry-driven build
+  path must be bit-identical to the pre-redesign ``if/elif`` ladder;
+* registry error messages (did-you-mean on unknown components and paths);
+* the CLI's dotted ``--set``/``--sweep``/``describe`` surface;
+* the churn-without-registry warning in ``run_experiment``;
+* spec-mode ``NodeHost``: gossip and a non-gossip baseline running live
+  from the same StackSpec the simulator uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    StackSpec,
+    config_hash,
+    get_scenario,
+    iter_scenarios,
+    run_experiment,
+)
+from repro.experiments.cli import main as cli_main
+from repro.gossip import GossipSystem
+from repro.registry import (
+    INTEREST,
+    MEMBERSHIP,
+    POLICIES,
+    SYSTEMS,
+    Param,
+    RegistryError,
+    build_interest_model,
+    build_popularity,
+    parse_spec_overrides,
+    resolve_config_key,
+)
+from repro.runtime.host import NodeHost
+from repro.runtime.transport import MemoryTransport
+from repro.sim.rng import RngRegistry
+
+# --------------------------------------------------------------------------
+# Pinned pre-redesign values (computed on the PR-2 tree, before the registry
+# existed).  If these change, cached PR-1/PR-2 artifacts stop resolving and
+# the redesign is NOT behavior-preserving.
+# --------------------------------------------------------------------------
+
+SMOKE_CONFIG_HASH = "1cf8fcce9dce9547b8ba7d369156e39045a0194e020f154fe35dce71c1866442"
+SMOKE_RESULT_SHA = "01218cc91332987a1658984959b634132ff53df4f721c9e5ed5f40b989f78d83"
+SMOKE_BROKERS_CONFIG_HASH = "65d5faff74bf5437fbe010ef5bee2c2dfe13bc5d18f14a10e5d79e8f79120753"
+SMOKE_BROKERS_RESULT_SHA = "f57d57153497c6feab047314705f8fb4bc3fa773c2cd43fbdb7a39d8fc531a63"
+
+
+def _smoke_config() -> ExperimentConfig:
+    return get_scenario("smoke").config
+
+
+def _smoke_brokers_config() -> ExperimentConfig:
+    return _smoke_config().with_overrides(system="brokers", name="smoke-brokers")
+
+
+def _result_sha(result) -> str:
+    blob = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class TestSpecRoundTrips:
+    def test_flat_nested_bijection_for_every_scenario(self):
+        for scenario in iter_scenarios():
+            spec = StackSpec.from_config(scenario.config)
+            assert spec.to_config() == scenario.config, scenario.name
+
+    def test_nested_dict_round_trip(self):
+        for scenario in iter_scenarios():
+            spec = scenario.spec
+            payload = spec.to_dict()
+            json.dumps(payload)  # must be JSON-serializable
+            assert StackSpec.from_dict(payload) == spec, scenario.name
+
+    def test_defaults_agree_with_flat_config_defaults(self):
+        assert StackSpec.from_config(ExperimentConfig()) == StackSpec()
+
+    def test_extra_survives_both_encodings(self):
+        config = ExperimentConfig(extra=(("buffer_capacity", 64), ("note", "x")))
+        spec = StackSpec.from_config(config)
+        assert spec.extra_dict() == {"buffer_capacity": 64, "note": "x"}
+        assert StackSpec.from_dict(spec.to_dict()).to_config() == config
+
+    def test_dotted_get_and_with_value(self):
+        spec = StackSpec()
+        assert spec.get("system.fanout") == 3
+        assert spec.with_value("system.fanout", 7).system.fanout == 7
+        # legacy flat names are path aliases
+        assert spec.with_value("fanout", 7) == spec.with_value("system.fanout", 7)
+        # int → float widening for float-typed fields
+        assert spec.with_value("duration", 5).duration == 5.0
+        assert isinstance(spec.with_value("duration", 5).duration, float)
+
+
+class TestLegacyFlatAdapter:
+    def test_pr1_artifact_config_dict_loads_and_keeps_cache_key(self):
+        # Exactly what a PR-1 cache artifact carries in its "config" field.
+        legacy = _smoke_config().to_dict()
+        spec = StackSpec.from_dict(legacy)
+        assert spec == _smoke_config().spec()
+        assert config_hash(spec.to_config()) == SMOKE_CONFIG_HASH
+        assert config_hash(ExperimentConfig.from_dict(legacy)) == SMOKE_CONFIG_HASH
+
+    def test_legacy_and_nested_dicts_resolve_identically(self):
+        for config in (_smoke_config(), _smoke_brokers_config()):
+            from_legacy = StackSpec.from_dict(config.to_dict())
+            from_nested = StackSpec.from_dict(StackSpec.from_config(config).to_dict())
+            assert from_legacy == from_nested
+            assert config_hash(from_legacy.to_config()) == config_hash(config)
+
+    def test_spec_round_trip_never_perturbs_cache_keys(self):
+        for scenario in iter_scenarios():
+            assert config_hash(scenario.spec.to_config()) == config_hash(scenario.config)
+
+
+class TestPinnedResults:
+    """The registry build path is bit-identical to the pre-redesign ladder."""
+
+    def test_smoke_result_unchanged(self):
+        assert config_hash(_smoke_config()) == SMOKE_CONFIG_HASH
+        assert _result_sha(run_experiment(_smoke_config())) == SMOKE_RESULT_SHA
+
+    def test_smoke_brokers_result_unchanged(self):
+        config = _smoke_brokers_config()
+        assert config_hash(config) == SMOKE_BROKERS_CONFIG_HASH
+        assert _result_sha(run_experiment(config)) == SMOKE_BROKERS_RESULT_SHA
+
+
+class TestRegistryErrors:
+    def test_unknown_system_suggests_and_lists(self):
+        with pytest.raises(RegistryError) as excinfo:
+            SYSTEMS.get("gosip")
+        message = str(excinfo.value)
+        assert "did you mean" in message and "'gossip'" in message
+        assert "fair-gossip" in message  # full listing present
+
+    def test_registry_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            MEMBERSHIP.get("bogus")
+
+    def test_policy_aliases_resolve(self):
+        assert POLICIES.get("figure2").name == "topic"
+        assert POLICIES.get("topic-based").name == "topic"
+
+    def test_unknown_dotted_path_suggests(self):
+        with pytest.raises(RegistryError) as excinfo:
+            StackSpec().with_value("system.fanoot", 5)
+        assert "system.fanout" in str(excinfo.value)
+
+    def test_unknown_nested_dict_field_suggests(self):
+        with pytest.raises(RegistryError) as excinfo:
+            StackSpec.from_dict({"system": {"kind": "gossip", "fanouts": 3}})
+        assert "fanout" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(RegistryError):
+            SYSTEMS.register("gossip", lambda ctx: None)
+
+    def test_duplicate_alias_rejected(self):
+        # "figure2" is already an alias of the built-in "topic" policy; a new
+        # component must not silently rebind it.
+        with pytest.raises(RegistryError, match="figure2"):
+            POLICIES.register("my-policy", lambda spec: None, aliases=("figure2",))
+        assert "my-policy" not in POLICIES
+        assert POLICIES.get("figure2").name == "topic"
+
+    def test_parse_spec_overrides(self):
+        overrides = parse_spec_overrides(["system.fanout=5", "membership.kind=lpbcast"])
+        assert overrides == {"system.fanout": 5, "membership.kind": "lpbcast"}
+        assert resolve_config_key("system.fanout") == "fanout"
+        with pytest.raises(RegistryError):
+            parse_spec_overrides(["extra=nope"])
+        with pytest.raises(RegistryError):
+            parse_spec_overrides(["no-equals-sign"])
+
+
+class TestCliSurface:
+    def test_describe_scenario(self, capsys):
+        assert cli_main(["describe", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "system.kind = 'gossip'" in out
+        assert "membership.kind = 'cyclon'" in out
+        assert "parameters" in out
+
+    def test_describe_component(self, capsys):
+        assert cli_main(["describe", "fair-gossip"]) == 0
+        out = capsys.readouterr().out
+        assert "adapt_fanout" in out
+
+    def test_describe_unknown_suggests(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["describe", "smoek"])
+        assert "smoke" in str(excinfo.value)
+
+    def test_set_accepts_dotted_paths(self, capsys):
+        code = cli_main(
+            [
+                "run",
+                "smoke",
+                "--no-cache",
+                "--set",
+                "system.fanout=2",
+                "--set",
+                "membership.kind=lpbcast",
+            ]
+        )
+        assert code == 0
+        assert "smoke" in capsys.readouterr().out
+
+    def test_set_unknown_dotted_path_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["run", "smoke", "--no-cache", "--set", "membership.kin=lpbcast"])
+        assert "membership.kind" in str(excinfo.value)
+
+    def test_sweep_accepts_dotted_param(self, capsys):
+        code = cli_main(
+            ["sweep", "smoke", "--no-cache", "--param", "system.fanout", "--values", "2,3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fanout=2" in out and "fanout=3" in out
+
+
+class _NoRegistryGossip(GossipSystem):
+    """A registered system without a process registry (churn cannot attach)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        del self.registry
+
+
+class TestChurnSkipWarns:
+    def test_requested_churn_without_registry_warns(self):
+        SYSTEMS.register(
+            "no-registry-gossip",
+            lambda ctx: _NoRegistryGossip(
+                ctx.scheduler, ctx.network, list(ctx.node_ids)
+            ),
+            description="test-only",
+        )
+        try:
+            config = _smoke_config().with_overrides(
+                name="churny",
+                system="no-registry-gossip",
+                churn_down_probability=0.05,
+                duration=2.0,
+                drain_time=1.0,
+            )
+            with pytest.warns(RuntimeWarning, match="no process registry"):
+                run_experiment(config)
+        finally:
+            SYSTEMS.unregister("no-registry-gossip")
+
+    def test_churn_with_registry_does_not_warn(self, recwarn):
+        config = _smoke_config().with_overrides(
+            name="churny-ok", churn_down_probability=0.05, duration=2.0, drain_time=1.0
+        )
+        run_experiment(config)
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+
+
+def _run_live_spec(kind: str, publications: int = 20) -> NodeHost:
+    """Run a small spec-built cluster briefly on the memory transport."""
+
+    async def scenario() -> NodeHost:
+        spec = get_scenario("smoke").spec.with_values(
+            {"nodes": 10, "system.kind": kind}
+        )
+        host = NodeHost(MemoryTransport(), seed=spec.seed, time_scale=20.0, spec=spec)
+        await host.start()
+        popularity = build_popularity(spec)
+        model = build_interest_model(spec, popularity)
+        interest = model.assign(
+            list(spec.node_ids()), RngRegistry(spec.seed).stream("experiment-interest")
+        )
+        interest.apply(host)
+        rng = RngRegistry(1234).stream("publications")
+        for index in range(publications):
+            host.publish(f"node-{index % 10:03d}", topic=popularity.sample(rng))
+            await asyncio.sleep(0.005)
+        await asyncio.sleep(0.4)
+        await host.stop()
+        return host
+
+    return asyncio.run(scenario())
+
+
+class TestSpecModeHost:
+    """The same StackSpec builds the stack for the live runtime."""
+
+    def test_gossip_scenario_runs_live(self):
+        host = _run_live_spec("gossip")
+        assert host.system is not None and host.system.name == "push-gossip"
+        assert host.delivery_log.total_deliveries() > 0
+        assert host.network.decode_errors == 0
+        assert host.transport.frames_sent > 0
+
+    def test_non_gossip_baseline_runs_live(self):
+        host = _run_live_spec("brokers")
+        assert host.delivery_log.total_deliveries() > 0
+        assert host.network.decode_errors == 0
+        # brokers are infrastructure: hosted (client) nodes exclude them
+        assert all(node_id.startswith("node-") for node_id in host.node_ids())
+        # the shared ledger sees broker work (fairness reads the real data)
+        assert "broker-0" in host.ledger.node_ids()
+
+    def test_spec_mode_rejects_manual_add_node(self):
+        spec = get_scenario("smoke").spec
+        host = NodeHost(MemoryTransport(), spec=spec)
+        with pytest.raises(ValueError, match="StackSpec"):
+            host.add_node("node-000")
