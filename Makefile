@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-rt serve-smoke serve-scenario-smoke registry-smoke clean-cache
+.PHONY: test bench bench-smoke bench-rt bench-metrics serve-smoke serve-scenario-smoke registry-smoke report-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,11 @@ bench-smoke:
 bench-rt:
 	$(PYTHON) -m pytest benchmarks/bench_rt_throughput.py -q -s
 
+# Metrics hot-path overhead: writes BENCH_metrics_overhead.json
+# (ns/record, legacy list-backed histogram vs streaming telemetry).
+bench-metrics:
+	$(PYTHON) -m pytest benchmarks/bench_metrics_overhead.py -q -s
+
 # Short live cluster run with the embedded load generator (memory transport).
 serve-smoke:
 	$(PYTHON) -m repro serve --nodes 25 --transport memory --duration 5
@@ -34,5 +39,17 @@ serve-scenario-smoke: registry-smoke
 	$(PYTHON) -m repro serve --scenario smoke --transport memory --duration 3 --rate 200 --drain 0.5
 	$(PYTHON) -m repro serve --scenario smoke --set system.kind=brokers --transport memory --duration 2 --rate 100 --drain 0.5
 
+# Telemetry + report round trip: run a scenario with a JSON-lines snapshot
+# sink and a result artifact, then render tables from both — and from a live
+# cluster's snapshot stream — without re-running anything.
+report-smoke:
+	$(PYTHON) -m repro run smoke --no-cache --telemetry jsonl:out/smoke_metrics.jsonl --json out/smoke_results.json
+	$(PYTHON) -m repro report out/smoke_metrics.jsonl
+	$(PYTHON) -m repro report out/smoke_results.json
+	$(PYTHON) -m repro serve --scenario smoke --transport memory --duration 2 --rate 100 --drain 0.5 --telemetry jsonl:out/live_metrics.jsonl
+	$(PYTHON) -m repro report out/live_metrics.jsonl
+
+# BENCH_metrics_overhead.json is tracked (it seeds the perf trajectory), so
+# clean-cache leaves it alone; re-run `make bench-metrics` to refresh it.
 clean-cache:
-	rm -rf .repro-cache .ci-cache BENCH_rt_throughput.json
+	rm -rf .repro-cache .ci-cache out BENCH_rt_throughput.json

@@ -4,19 +4,27 @@ from .fairness_report import (
     NodeFairnessRow,
     SystemFairnessSummary,
     compare_systems,
+    fairness_table_from_snapshot,
     summarise_fairness,
 )
-from .reliability import EventReliability, ReliabilityReport, measure_reliability
+from .reliability import (
+    EventReliability,
+    ReliabilityReport,
+    latency_summary_from_snapshot,
+    measure_reliability,
+)
 from .tables import Table, format_mapping, format_table
 
 __all__ = [
     "NodeFairnessRow",
     "SystemFairnessSummary",
     "summarise_fairness",
+    "fairness_table_from_snapshot",
     "compare_systems",
     "EventReliability",
     "ReliabilityReport",
     "measure_reliability",
+    "latency_summary_from_snapshot",
     "Table",
     "format_table",
     "format_mapping",

@@ -17,7 +17,13 @@ from ..core.fairness import FairnessReport, evaluate_fairness
 from ..core.policy import EXPRESSIVE_POLICY, FairnessPolicy
 from .tables import Table, format_table
 
-__all__ = ["NodeFairnessRow", "SystemFairnessSummary", "summarise_fairness", "compare_systems"]
+__all__ = [
+    "NodeFairnessRow",
+    "SystemFairnessSummary",
+    "summarise_fairness",
+    "fairness_table_from_snapshot",
+    "compare_systems",
+]
 
 
 @dataclass(frozen=True)
@@ -150,6 +156,45 @@ def summarise_fairness(
         report=report,
         per_node=per_node,
     )
+
+
+def fairness_table_from_snapshot(snapshot, max_rows: int = 10) -> Optional[Table]:
+    """Per-node fairness table built from a telemetry snapshot.
+
+    Reads the per-node ``node.contribution`` / ``node.benefit`` gauges (and
+    the aggregate ``fairness.ratio_jain`` / ``fairness.wasted_share``) that
+    the experiment runner's telemetry collector publishes, so mid-run
+    snapshots carry the same fairness view the end-of-run summary computes
+    from the ledger.  Returns ``None`` when the snapshot carries no per-node
+    fairness gauges (for example a runtime snapshot with aggregates only).
+    """
+    from ..core.fairness import contribution_benefit_ratios
+
+    contributions = snapshot.gauges_by_tag("node.contribution", "node")
+    benefits = snapshot.gauges_by_tag("node.benefit", "node")
+    if not contributions and not benefits:
+        return None
+    table = Table(
+        ["node", "contribution", "benefit", "ratio"],
+        title=(
+            f"fairness at t={snapshot.at:g} — "
+            f"ratio Jain {snapshot.gauge_value('fairness.ratio_jain'):.3f}, "
+            f"wasted share {snapshot.gauge_value('fairness.wasted_share'):.3f}"
+        ),
+    )
+    # Same ratio semantics as the end-of-run summary: zero-benefit
+    # contributors get the finite cap (they are the exploited nodes the
+    # fairness analysis is about), not a ratio of 0.
+    ratios = contribution_benefit_ratios(contributions, benefits)
+    nodes = sorted(ratios, key=lambda node: -contributions.get(node, 0.0))
+    for node in nodes[:max_rows]:
+        table.add_row(
+            node=node,
+            contribution=contributions.get(node, 0.0),
+            benefit=benefits.get(node, 0.0),
+            ratio=ratios[node],
+        )
+    return table
 
 
 def compare_systems(

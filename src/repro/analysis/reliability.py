@@ -16,9 +16,14 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from ..pubsub.events import Event
 from ..pubsub.interfaces import DeliveryLog
 from ..pubsub.subscriptions import SubscriptionTable
-from ..sim.metrics import percentile
+from ..sim.metrics import HistogramSummary, percentile
 
-__all__ = ["EventReliability", "ReliabilityReport", "measure_reliability"]
+__all__ = [
+    "EventReliability",
+    "ReliabilityReport",
+    "measure_reliability",
+    "latency_summary_from_snapshot",
+]
 
 
 @dataclass(frozen=True)
@@ -167,3 +172,18 @@ def measure_reliability(
         mean_rounds=mean_rounds,
         p95_rounds=p95_rounds,
     )
+
+
+def latency_summary_from_snapshot(
+    snapshot, name: str = "sim.delivery_latency", **tags
+) -> HistogramSummary:
+    """Delivery-latency summary read from a telemetry snapshot.
+
+    The experiment runner streams every delivery latency into the
+    ``sim.delivery_latency`` histogram (the live runtime uses
+    ``rt.delivery_latency_units``), so mid-run snapshots answer the latency
+    questions this module otherwise answers from the delivery log after the
+    run.  Returns an all-zero summary when the snapshot has no such
+    histogram.
+    """
+    return snapshot.histogram_summary(name, **tags)

@@ -72,12 +72,26 @@ class AdaptiveFanoutController:
         schedule: Optional[FanoutSchedule] = None,
         estimator: Optional[BenefitEstimator] = None,
         smoothing: float = 0.5,
+        telemetry=None,
+        telemetry_tags: Optional[dict] = None,
     ) -> None:
         self.schedule = schedule if schedule is not None else FanoutSchedule()
         self.estimator = estimator if estimator is not None else BenefitEstimator()
         self._smoothed = Ewma(alpha=smoothing)
         self._current = self.schedule.base_fanout
         self.history: List[int] = []
+        #: Optional telemetry gauge mirroring the live recommendation, so
+        #: snapshots expose each node's current fanout mid-run.
+        self._gauge = (
+            telemetry.gauge("controller.fanout", **(telemetry_tags or {}))
+            if telemetry is not None
+            else None
+        )
+        if self._gauge is not None:
+            # Publish the neutral operating point immediately so snapshots
+            # taken before the first adaptation (or in ablations that never
+            # adapt this lever) show the effective value, not 0.
+            self._gauge.set(self._current)
 
     # ----------------------------------------------------------- observing
 
@@ -95,6 +109,8 @@ class AdaptiveFanoutController:
         smoothed = self._smoothed.observe(raw)
         self._current = self.schedule.clamp(smoothed)
         self.history.append(self._current)
+        if self._gauge is not None:
+            self._gauge.set(self._current)
 
     # ------------------------------------------------------------- reading
 

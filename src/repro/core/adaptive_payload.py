@@ -71,6 +71,8 @@ class AdaptivePayloadController:
         estimator: Optional[BenefitEstimator] = None,
         smoothing: float = 0.5,
         backlog_fraction: float = 0.25,
+        telemetry=None,
+        telemetry_tags: Optional[dict] = None,
     ) -> None:
         if not 0.0 <= backlog_fraction <= 1.0:
             raise ValueError("backlog_fraction must be within [0, 1]")
@@ -80,6 +82,18 @@ class AdaptivePayloadController:
         self._current = self.schedule.base_payload
         self.backlog_fraction = backlog_fraction
         self.history: List[int] = []
+        #: Optional telemetry gauge mirroring the live recommendation, so
+        #: snapshots expose each node's current payload size mid-run.
+        self._gauge = (
+            telemetry.gauge("controller.payload", **(telemetry_tags or {}))
+            if telemetry is not None
+            else None
+        )
+        if self._gauge is not None:
+            # Publish the neutral operating point immediately so snapshots
+            # taken before the first adaptation (or in ablations that never
+            # adapt this lever) show the effective value, not 0.
+            self._gauge.set(self._current)
 
     # ----------------------------------------------------------- observing
 
@@ -100,6 +114,8 @@ class AdaptivePayloadController:
         )
         self._current = self.schedule.clamp(max(smoothed, backlog_floor))
         self.history.append(self._current)
+        if self._gauge is not None:
+            self._gauge.set(self._current)
 
     # ------------------------------------------------------------- reading
 

@@ -159,8 +159,14 @@ class BiasDetector:
         self.concentration_threshold = concentration_threshold
         self.min_messages = min_messages
 
-    def analyse(self, audit: ForwardAudit) -> BiasReport:
-        """Run the detector over an audit and return per-node findings."""
+    def analyse(self, audit: ForwardAudit, telemetry=None) -> BiasReport:
+        """Run the detector over an audit and return per-node findings.
+
+        With ``telemetry`` the verdicts are also published as node-tagged
+        gauges (``bias.useful_ratio``, ``bias.flagged``) plus the aggregate
+        ``bias.flagged_nodes``, so periodic snapshots show the detector's
+        view evolving during a run.
+        """
         senders = audit.senders()
         ratios = sorted(audit.useful_ratio(sender) for sender in senders)
         median_ratio = ratios[len(ratios) // 2] if ratios else 1.0
@@ -183,7 +189,17 @@ class BiasDetector:
                 flagged=bool(reasons),
                 reasons=tuple(reasons),
             )
-        return BiasReport(findings=findings, median_useful_ratio=median_ratio)
+        report = BiasReport(findings=findings, median_useful_ratio=median_ratio)
+        if telemetry is not None:
+            telemetry.set_gauge("bias.median_useful_ratio", median_ratio)
+            telemetry.set_gauge("bias.flagged_nodes", len(report.flagged_nodes()))
+            for sender in senders:
+                finding = findings[sender]
+                telemetry.set_gauge("bias.useful_ratio", finding.useful_ratio, node=sender)
+                telemetry.set_gauge(
+                    "bias.flagged", 1.0 if finding.flagged else 0.0, node=sender
+                )
+        return report
 
 
 class SelfishGossipNode(PushGossipNode):

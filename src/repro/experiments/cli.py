@@ -7,8 +7,14 @@ Subcommands
 ``compare``        run a scenario across several dissemination systems
 ``list-scenarios`` show the named-scenario registry
 ``describe``       show a scenario's resolved spec or a component's schema
+``report``         render fairness/reliability/latency tables from artifacts
 ``serve``          run a *live* cluster on a real transport (asyncio runtime)
 ``loadgen``        drive a live cluster at a target events/sec
+
+``run`` additionally accepts ``--telemetry jsonl:out/metrics.jsonl`` (and
+friends; repeatable) to stream periodic telemetry snapshots during the run;
+``report`` then renders tables from that snapshot stream, from any
+``--json`` result artifact, or from a cached result — no re-run needed.
 
 The first four orchestrate deterministic simulator experiments; ``serve``
 and ``loadgen`` run the same protocol stack on the live runtime
@@ -49,7 +55,7 @@ from ..runtime.cli import add_runtime_subcommands
 from .cache import ARTIFACT_SCHEMA, DEFAULT_CACHE_DIR, ResultCache
 from .config import ExperimentConfig
 from .executor import ParallelSweepExecutor
-from .runner import ExperimentResult
+from .runner import ExperimentResult, run_experiment
 from .scenarios import SYSTEM_NAMES, get_scenario, iter_scenarios, scenario_names, system_names
 from .sweeps import results_table
 
@@ -95,13 +101,13 @@ def _build_executor(args: argparse.Namespace) -> ParallelSweepExecutor:
 
 def _emit_results(
     args: argparse.Namespace,
-    executor: ParallelSweepExecutor,
+    executor: Optional[ParallelSweepExecutor],
     results: List[ExperimentResult],
     title: str,
 ) -> None:
     """Print the result table and status line; optionally write the artifact."""
     print(results_table(results, title=title).render())
-    if executor.last_report is not None:
+    if executor is not None and executor.last_report is not None:
         print(executor.last_report.describe())
     if args.json:
         artifact = {
@@ -119,6 +125,26 @@ def _emit_results(
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _resolve_config(args)
+    # Validate the telemetry wiring before building the whole stack so a
+    # typo'd sink spec (or a dangling --telemetry-period) fails as a clean
+    # CLI error, not a traceback after the simulation ran (shared with
+    # serve/loadgen).
+    from ..runtime.cli import parse_telemetry_sinks
+
+    sinks = parse_telemetry_sinks(args)
+    if sinks:
+        # Telemetry sinks hold open files and are not picklable, so a
+        # telemetry-enabled run executes in-process and bypasses the cache
+        # (the snapshot stream is the artifact being produced).
+        result = run_experiment(
+            config,
+            snapshot_sinks=sinks,
+            snapshot_period=args.telemetry_period,
+        )
+        _emit_results(args, None, [result], title=f"run — {config.name}")
+        for sink in args.telemetry:
+            print(f"telemetry sink: {sink}")
+        return 0
     executor = _build_executor(args)
     results = executor.run_many([config])
     _emit_results(args, executor, results, title=f"run — {config.name}")
@@ -221,6 +247,18 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render fairness/reliability/latency tables from a stored artifact."""
+    from ..telemetry.report import load_report_source, render_report
+
+    try:
+        source = load_report_source(args.artifact)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(render_report(source, max_rows=args.max_rows))
+    return 0
+
+
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     table = Table(["name", "system", "nodes", "description"], title="registered scenarios")
     for scenario in iter_scenarios():
@@ -274,6 +312,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one scenario")
     _add_common_options(run_parser)
+    run_parser.add_argument(
+        "--telemetry",
+        action="append",
+        metavar="SINK",
+        help="stream periodic telemetry snapshots to a sink during the run "
+        "(jsonl:PATH, csv:PATH, prom:PATH, memory); repeatable; implies an "
+        "in-process, cache-bypassing run",
+    )
+    run_parser.add_argument(
+        "--telemetry-period",
+        type=float,
+        default=None,
+        metavar="UNITS",
+        help="snapshot period in simulated time units (default: 5.0)",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     sweep_parser = subparsers.add_parser("sweep", help="sweep one parameter axis")
@@ -311,6 +364,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     describe_parser.add_argument("name", help="scenario or component name (e.g. smoke, fair-gossip)")
     describe_parser.set_defaults(handler=_cmd_describe)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render fairness/reliability/latency tables from a stored artifact "
+        "(telemetry JSON-lines stream, --json results, cache entry, or runtime artifact)",
+    )
+    report_parser.add_argument(
+        "artifact",
+        help="path to the artifact: a telemetry .jsonl stream, a --json results "
+        "file, a .repro-cache entry, or a serve/loadgen --json artifact",
+    )
+    report_parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=10,
+        help="per-table row cap for per-node breakdowns (default: 10)",
+    )
+    report_parser.set_defaults(handler=_cmd_report)
 
     add_runtime_subcommands(subparsers)
 

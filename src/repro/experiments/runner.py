@@ -27,8 +27,16 @@ from ..analysis import (
     summarise_fairness,
 )
 from ..core import FairnessPolicy
+from ..core.fairness import evaluate_fairness
 from ..pubsub.events import Event
 from ..sim import ChurnInjector
+from ..telemetry import (
+    DEFAULT_SNAPSHOT_PERIOD,
+    SnapshotScheduler,
+    Telemetry,
+    TelemetrySnapshot,
+    parse_sink_spec,
+)
 from ..workloads import (
     AttributeInterest,
     ContentPublicationWorkload,
@@ -54,6 +62,13 @@ class ExperimentResult:
     total_messages: float
     total_deliveries: int
     system: object = field(repr=False, default=None)
+    #: The run's final telemetry snapshot.  Like ``system`` it is a live
+    #: extra, not part of the artifact: ``to_dict`` skips it (cache identity
+    #: is untouched) and it is excluded from equality so cache-loaded and
+    #: freshly computed results still compare equal.
+    final_snapshot: Optional[TelemetrySnapshot] = field(
+        repr=False, compare=False, default=None
+    )
 
     @property
     def delivery_ratio(self) -> float:
@@ -100,16 +115,78 @@ class ExperimentResult:
         )
 
 
-def run_experiment(config: ExperimentConfig, keep_system: bool = False) -> ExperimentResult:
+def _telemetry_collector(simulator, system, policy, telemetry: Telemetry):
+    """Build the collect hook refreshing derived gauges before a snapshot.
+
+    Everything recorded here is *read* from the shared ledger/delivery log —
+    no RNG draws, no scheduling — so enabling telemetry cannot perturb the
+    simulation (the determinism contract of ``docs/ARCHITECTURE.md``).
+    Delivery latencies stream incrementally into the bounded
+    ``sim.delivery_latency`` histogram (each tick only ingests records that
+    arrived since the previous tick).
+    """
+    latency_histogram = telemetry.histogram("sim.delivery_latency")
+    consumed = 0
+
+    def collect() -> None:
+        nonlocal consumed
+        records = system.delivery_log.ordered_records()
+        for index in range(consumed, len(records)):
+            latency_histogram.observe(records[index].latency)
+        consumed = len(records)
+        totals = system.ledger.totals()
+        total_messages = (
+            totals.gossip_messages_sent
+            + totals.infrastructure_messages
+            + totals.subscription_forwards
+        )
+        telemetry.set_gauge("sim.time", simulator.now)
+        telemetry.set_gauge("sim.deliveries", system.delivery_log.total_deliveries())
+        telemetry.set_gauge("sim.messages.gossip", totals.gossip_messages_sent)
+        telemetry.set_gauge("sim.messages.infrastructure", totals.infrastructure_messages)
+        telemetry.set_gauge(
+            "sim.messages.subscription_forwards", totals.subscription_forwards
+        )
+        telemetry.set_gauge("sim.messages.total", total_messages)
+        contributions = policy.contributions(system.ledger)
+        benefits = policy.benefits(system.ledger)
+        fairness_report = evaluate_fairness(contributions, benefits)
+        telemetry.set_gauge("fairness.ratio_jain", fairness_report.ratio_jain)
+        telemetry.set_gauge("fairness.wasted_share", fairness_report.wasted_share)
+        for node_id in sorted(contributions):
+            telemetry.set_gauge("node.contribution", contributions[node_id], node=node_id)
+        for node_id in sorted(benefits):
+            telemetry.set_gauge("node.benefit", benefits[node_id], node=node_id)
+
+    return collect
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    keep_system: bool = False,
+    telemetry: Optional[Telemetry] = None,
+    snapshot_sinks: Optional[Sequence] = None,
+    snapshot_period: Optional[float] = None,
+) -> ExperimentResult:
     """Run one experiment described by ``config`` and return its measurements.
 
     ``keep_system`` attaches the live system object to the result, which the
     adaptive-controller benchmarks use to inspect per-node controller
     histories after the run; it is off by default to keep results small.
+
+    ``snapshot_sinks`` (sink objects or ``"jsonl:path"``-style specs) enable
+    periodic telemetry snapshots every ``snapshot_period`` simulated time
+    units during the run; with or without sinks the result's headline totals
+    are read from the run's *final* snapshot, which is attached as
+    ``result.final_snapshot``.
     """
     simulator, network = build_simulation(config)
+    if telemetry is None:
+        telemetry = Telemetry(time_source=lambda: simulator.now)
     popularity = build_popularity(config)
-    system = build_system(config, simulator, network, popularity=popularity)
+    system = build_system(
+        config, simulator, network, popularity=popularity, telemetry=telemetry
+    )
     interest_model = build_interest(config, popularity)
     rng = simulator.rng.stream("experiment-interest")
     interest = interest_model.assign(list(config.node_ids()), rng)
@@ -172,11 +249,30 @@ def run_experiment(config: ExperimentConfig, keep_system: bool = False) -> Exper
         )
         subscription_churn.start(duration=config.duration, start_at=config.round_period)
 
+    policy = resolve_policy(config)
+    collect = _telemetry_collector(simulator, system, policy, telemetry)
+    scheduler: Optional[SnapshotScheduler] = None
+    if snapshot_sinks:
+        sinks = [
+            parse_sink_spec(sink) if isinstance(sink, str) else sink
+            for sink in snapshot_sinks
+        ]
+        period = snapshot_period if snapshot_period is not None else DEFAULT_SNAPSHOT_PERIOD
+        scheduler = SnapshotScheduler(
+            telemetry, sinks, period, simulator, collect=collect
+        )
+        scheduler.start()
+
     simulator.run(until=config.total_time)
     if churn_injector is not None:
         churn_injector.stop()
 
-    policy = resolve_policy(config)
+    if scheduler is not None:
+        final_snapshot = scheduler.stop(final=True)
+    else:
+        collect()
+        final_snapshot = telemetry.snapshot(at=simulator.now)
+
     fairness = summarise_fairness(system.ledger, policy=policy, system_name=config.name)
     reliability = measure_reliability(
         workload.schedule.events,
@@ -184,19 +280,14 @@ def run_experiment(config: ExperimentConfig, keep_system: bool = False) -> Exper
         system.subscriptions,
         round_period=config.round_period,
     )
-    totals = system.ledger.totals()
-    total_messages = (
-        totals.gossip_messages_sent
-        + totals.infrastructure_messages
-        + totals.subscription_forwards
-    )
     return ExperimentResult(
         config=config,
         fairness=fairness,
         reliability=reliability,
         published_events=list(workload.schedule.events),
         interest=interest,
-        total_messages=float(total_messages),
-        total_deliveries=system.delivery_log.total_deliveries(),
+        total_messages=final_snapshot.gauge_value("sim.messages.total"),
+        total_deliveries=int(final_snapshot.gauge_value("sim.deliveries")),
         system=system if keep_system else None,
+        final_snapshot=final_snapshot,
     )

@@ -91,15 +91,21 @@ def build_system(
     simulator: Simulator,
     network: Network,
     popularity: Optional[TopicPopularity] = None,
+    telemetry=None,
 ):
     """Build the dissemination system named by ``config.system``.
 
     Thin flat-config wrapper over :func:`repro.registry.builtins.build_stack`;
     unknown system names raise a :class:`~repro.registry.base.RegistryError`
-    (a ``ValueError``) listing the registered systems.
+    (a ``ValueError``) listing the registered systems.  ``telemetry``
+    threads the runner's shared store into node-level instruments.
     """
     return build_stack(
-        StackSpec.from_config(config), simulator, network, popularity=popularity
+        StackSpec.from_config(config),
+        simulator,
+        network,
+        popularity=popularity,
+        telemetry=telemetry,
     )
 
 

@@ -34,6 +34,7 @@ from ..pubsub.interfaces import DeliveryCallback, DeliveryLog
 from ..sim.engine import Simulator
 from ..sim.network import Message, Network
 from ..sim.node import Process
+from ..telemetry import Telemetry
 from .buffers import EventBuffer
 
 __all__ = ["GossipMessage", "PushGossipNode", "GOSSIP_MESSAGE_KIND"]
@@ -93,6 +94,10 @@ class PushGossipNode(Process):
         Buffer sizing.
     round_jitter:
         Uniform jitter added to each round to avoid lock-step rounds.
+    telemetry:
+        Optional shared :class:`~repro.telemetry.Telemetry` store; when set
+        the node records node-tagged round/message/delivery counters and a
+        payload-size histogram (the live host injects its own store here).
     """
 
     def __init__(
@@ -110,6 +115,7 @@ class PushGossipNode(Process):
         buffer_capacity: int = 500,
         buffer_max_rounds: int = 20,
         round_jitter: float = 0.05,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         super().__init__(node_id, simulator, network)
         if fanout < 0:
@@ -137,6 +143,20 @@ class PushGossipNode(Process):
         #: how useful each sender's forwards were, which the bias detector
         #: uses to spot peers inflating their contribution with stale events.
         self.forward_audit = None
+        #: Optional shared telemetry store (node-tagged instruments).  The
+        #: instruments are pre-bound here so the per-round/per-delivery hot
+        #: paths pay one None check, not a facade lookup.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._rounds_counter = telemetry.counter("gossip.rounds", node=node_id)
+            self._messages_counter = telemetry.counter("gossip.messages_sent", node=node_id)
+            self._deliveries_counter = telemetry.counter("gossip.deliveries", node=node_id)
+            self._payload_histogram = telemetry.histogram("gossip.payload_events", node=node_id)
+        else:
+            self._rounds_counter = None
+            self._messages_counter = None
+            self._deliveries_counter = None
+            self._payload_histogram = None
         self.ledger.ensure_node(node_id)
 
     # -------------------------------------------------------------- wiring
@@ -197,6 +217,8 @@ class PushGossipNode(Process):
         if name != "gossip-round":
             return
         self.rounds_executed += 1
+        if self._rounds_counter is not None:
+            self._rounds_counter.increment()
         self.buffer.start_round()
         self.membership.on_round()
         self.execute_gossip_round()
@@ -246,6 +268,9 @@ class PushGossipNode(Process):
             events=len(events) * len(neighbors),
             size=message.size * len(neighbors),
         )
+        if self._messages_counter is not None:
+            self._messages_counter.increment(len(neighbors))
+            self._payload_histogram.observe(len(events))
 
     def select_participants(self, fanout: int, rng) -> List[str]:
         """``SELECTPARTICIPANTS(F)`` — uniform selection from the membership view."""
@@ -299,6 +324,8 @@ class PushGossipNode(Process):
             return
         self.delivered_event_ids.add(event.event_id)
         self.deliveries_this_window += 1
+        if self._deliveries_counter is not None:
+            self._deliveries_counter.increment()
         self.ledger.record_delivery(self.node_id)
         self.delivery_log.record(self.node_id, event, delivered_at=self.simulator.now)
         for callback in self._callbacks:

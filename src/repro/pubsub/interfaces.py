@@ -56,6 +56,7 @@ class DeliveryLog:
     def __init__(self) -> None:
         self._by_node: Dict[str, List[DeliveryRecord]] = {}
         self._by_event: Dict[str, List[DeliveryRecord]] = {}
+        self._ordered: List[DeliveryRecord] = []
         self._seen: set = set()
 
     def record(self, node_id: str, event: Event, delivered_at: float) -> Optional[DeliveryRecord]:
@@ -72,7 +73,17 @@ class DeliveryLog:
         )
         self._by_node.setdefault(node_id, []).append(record)
         self._by_event.setdefault(event.event_id, []).append(record)
+        self._ordered.append(record)
         return record
+
+    def ordered_records(self) -> Sequence[DeliveryRecord]:
+        """Every record in arrival order (read-only view, do not mutate).
+
+        Incremental consumers — the telemetry collector streaming latencies
+        into a histogram mid-run — remember how far they read and index from
+        there, so each tick costs O(new records), not O(all records).
+        """
+        return self._ordered
 
     def delivered(self, node_id: str, event_id: str) -> bool:
         """Whether the node has delivered the event."""

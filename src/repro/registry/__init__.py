@@ -36,6 +36,7 @@ from .specs import (
     PolicySpec,
     StackSpec,
     SystemSpec,
+    TelemetrySpec,
     WorkloadSpec,
     parse_scalar,
     parse_spec_overrides,
@@ -68,6 +69,7 @@ __all__ = [
     "InterestSpec",
     "WorkloadSpec",
     "PolicySpec",
+    "TelemetrySpec",
     "FLAT_TO_PATH",
     "PATH_TO_FLAT",
     "spec_paths",

@@ -118,6 +118,13 @@ class BuildContext:
     node_ids: Sequence[str]
     popularity: Optional[TopicPopularity] = None
     live: bool = False
+    #: Shared :class:`~repro.telemetry.Telemetry` store, or ``None``.
+    #: Gossip-family factories hand it to their nodes so node-level
+    #: instruments (round/message/delivery counters, controller gauges)
+    #: appear in snapshots of spec-built stacks in both worlds.  Purely
+    #: observational: recording draws no randomness and schedules nothing,
+    #: so simulator results are bit-identical with or without it.
+    telemetry: Optional[Any] = None
 
     def membership_provider(self):
         """Build the membership provider named by ``spec.membership.kind``."""
@@ -169,6 +176,8 @@ def _gossip_node_kwargs(ctx: BuildContext) -> Dict[str, object]:
         "gossip_size": spec.system.gossip_size,
         "round_period": spec.system.round_period,
     }
+    if ctx.telemetry is not None:
+        kwargs["telemetry"] = ctx.telemetry
     return _apply_live_extras(kwargs, ctx)
 
 
@@ -196,6 +205,8 @@ def _build_fair_gossip(ctx: BuildContext) -> FairGossipSystem:
         adapt_fanout=spec.system.adapt_fanout,
         adapt_payload=spec.system.adapt_payload,
     )
+    if ctx.telemetry is not None:
+        node_kwargs["telemetry"] = ctx.telemetry
     node_kwargs = _apply_live_extras(node_kwargs, ctx)
     return FairGossipSystem(
         ctx.scheduler,
@@ -472,13 +483,15 @@ def build_stack(
     network,
     popularity: Optional[TopicPopularity] = None,
     live: bool = False,
+    telemetry=None,
 ):
     """Build the dissemination system described by ``spec.system``.
 
     Works against either scheduling substrate (simulator or live runtime);
-    ``live=True`` marks runtime builds (see :class:`BuildContext`).  Unknown
-    kinds raise :class:`~repro.registry.base.RegistryError` listing the
-    registered systems.
+    ``live=True`` marks runtime builds (see :class:`BuildContext`), and
+    ``telemetry`` hands the caller's shared store to node-level instruments.
+    Unknown kinds raise :class:`~repro.registry.base.RegistryError` listing
+    the registered systems.
     """
     context = BuildContext(
         spec=spec,
@@ -487,5 +500,6 @@ def build_stack(
         node_ids=list(spec.node_ids()),
         popularity=popularity,
         live=live,
+        telemetry=telemetry,
     )
     return SYSTEMS.get(spec.system.kind).factory(context)

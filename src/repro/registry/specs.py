@@ -39,6 +39,7 @@ __all__ = [
     "InterestSpec",
     "WorkloadSpec",
     "PolicySpec",
+    "TelemetrySpec",
     "StackSpec",
     "FLAT_TO_PATH",
     "PATH_TO_FLAT",
@@ -110,6 +111,36 @@ class PolicySpec:
     """Which fairness policy weights measurement (and the adaptive levers)."""
 
     kind: str = "expressive"
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """Optional observability wiring: snapshot sinks and cadence.
+
+    ``sinks`` are compact sink specs understood by
+    :func:`repro.telemetry.parse_sink_spec` (``"jsonl:out/metrics.jsonl"``,
+    ``"csv:..."``, ``"prom:..."``, ``"memory"``); ``period`` is the snapshot
+    cadence in *time units* (simulated units under the discrete-event
+    engine, scaled wall-clock units in the live runtime).
+
+    Telemetry is observability, not physics: it is deliberately **not**
+    part of the flat :class:`~repro.experiments.config.ExperimentConfig`
+    and therefore never feeds the result cache key — attaching a sink to a
+    run must not orphan its cached result.  The flip side: anything that
+    routes through the flat config (``run_experiment``, sweeps, the cache)
+    cannot carry this spec — simulator runs attach sinks explicitly via
+    ``run_experiment(snapshot_sinks=...)`` or the CLI's ``--telemetry``;
+    the spec-mode live host (``NodeHost(spec=...)``) is what honours it.
+    """
+
+    sinks: Tuple[str, ...] = ()
+    period: float = 5.0  # keep in sync via DEFAULT_SNAPSHOT_PERIOD (checked in tests)
+
+    def build_sinks(self):
+        """Instantiate the configured sinks (empty list when unset)."""
+        from ..telemetry import parse_sink_spec
+
+        return [parse_sink_spec(spec) for spec in self.sinks]
 
 
 #: Flat :class:`ExperimentConfig` field → dotted spec path.  This mapping is
@@ -250,6 +281,9 @@ class StackSpec:
     interest: InterestSpec = field(default_factory=InterestSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     policy: PolicySpec = field(default_factory=PolicySpec)
+    #: Observability wiring; excluded from the flat-config bijection and
+    #: therefore from the result-cache identity (see :class:`TelemetrySpec`).
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
     extra: Tuple[Tuple[str, object], ...] = ()
 
     # ------------------------------------------------------------ flat adapter
@@ -296,6 +330,13 @@ class StackSpec:
             payload[section] = {
                 spec_field.name: getattr(spec, spec_field.name) for spec_field in fields(spec)
             }
+        # Telemetry is observability-only; omit it at its default so dicts of
+        # telemetry-free specs are byte-identical to the pre-telemetry format.
+        if self.telemetry != TelemetrySpec():
+            payload["telemetry"] = {
+                "sinks": list(self.telemetry.sinks),
+                "period": self.telemetry.period,
+            }
         return payload
 
     @staticmethod
@@ -314,7 +355,16 @@ class StackSpec:
             return StackSpec.from_config(ExperimentConfig.from_dict(payload))
 
         section_names = {name for name, _ in _SECTIONS}
-        top_level = {"name", "nodes", "seed", "duration", "drain_time", "loss_rate", "extra"}
+        top_level = {
+            "name",
+            "nodes",
+            "seed",
+            "duration",
+            "drain_time",
+            "loss_rate",
+            "extra",
+            "telemetry",
+        }
         unknown = [key for key in payload if key not in section_names | top_level]
         if unknown:
             known = sorted(section_names | top_level)
@@ -323,10 +373,45 @@ class StackSpec:
                 f"{suggest(unknown[0], known)}; known fields: {', '.join(known)}"
             )
         values: Dict[str, object] = {
-            key: payload[key] for key in top_level if key in payload and key != "extra"
+            key: payload[key]
+            for key in top_level
+            if key in payload and key not in ("extra", "telemetry")
         }
         if "extra" in payload:
             values["extra"] = tuple((key, value) for key, value in payload["extra"])
+        if "telemetry" in payload:
+            entry = payload["telemetry"]
+            if not isinstance(entry, Mapping):
+                raise RegistryError(
+                    f"StackSpec section 'telemetry' must be a mapping, got {type(entry).__name__}"
+                )
+            bad = [key for key in entry if key not in ("sinks", "period")]
+            if bad:
+                raise RegistryError(
+                    f"unknown telemetry spec fields {sorted(bad)}"
+                    f"{suggest(bad[0], ('sinks', 'period'))}; known fields: period, sinks"
+                )
+            sinks = entry.get("sinks", ())
+            if isinstance(sinks, str) or not isinstance(sinks, (list, tuple)):
+                raise RegistryError(
+                    "telemetry spec field 'sinks' must be a list of sink specs, "
+                    f"got {sinks!r}"
+                )
+            period_raw = entry.get("period", TelemetrySpec().period)
+            try:
+                period = float(period_raw)
+            except (TypeError, ValueError):
+                raise RegistryError(
+                    f"telemetry spec field 'period' must be a number, got {period_raw!r}"
+                )
+            if period <= 0:
+                raise RegistryError(
+                    f"telemetry spec field 'period' must be positive, got {period_raw!r}"
+                )
+            values["telemetry"] = TelemetrySpec(
+                sinks=tuple(str(sink) for sink in sinks),
+                period=period,
+            )
         for section, spec_class in _SECTIONS:
             entry = payload.get(section)
             if entry is None:
@@ -395,6 +480,17 @@ class StackSpec:
     def extra_dict(self) -> Dict[str, object]:
         """The free-form extras as a dictionary."""
         return dict(self.extra)
+
+    def with_telemetry(self, sinks, period: Optional[float] = None) -> "StackSpec":
+        """Copy with telemetry sinks (and optionally the snapshot period) set."""
+        current = self.telemetry
+        return replace(
+            self,
+            telemetry=TelemetrySpec(
+                sinks=tuple(sinks),
+                period=current.period if period is None else float(period),
+            ),
+        )
 
     @property
     def total_time(self) -> float:

@@ -50,6 +50,7 @@ from .transport import MemoryTransport, TcpTransport, Transport, UdpTransport
 
 __all__ = [
     "add_runtime_subcommands",
+    "parse_telemetry_sinks",
     "build_live_cluster",
     "LiveCluster",
     "RUNTIME_ARTIFACT_SCHEMA",
@@ -113,6 +114,27 @@ class LiveCluster(NamedTuple):
     spec: Optional[StackSpec]
 
 
+def parse_telemetry_sinks(args: argparse.Namespace, spec_has_sinks: bool = False):
+    """Validate/construct the ``--telemetry`` sinks as a clean CLI error.
+
+    Also owns the dangling-flag guard: ``--telemetry-period`` without any
+    sink (from the CLI or, with ``spec_has_sinks``, from a scenario's
+    TelemetrySpec) is rejected rather than silently ignored.
+    """
+    from ..telemetry import parse_sink_spec
+
+    period = getattr(args, "telemetry_period", None)
+    if period is not None and period <= 0:
+        raise SystemExit("--telemetry-period must be positive")
+    try:
+        sinks = [parse_sink_spec(spec) for spec in (getattr(args, "telemetry", None) or [])]
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if period is not None and not sinks and not spec_has_sinks:
+        raise SystemExit("--telemetry-period has no effect without --telemetry")
+    return sinks
+
+
 def _build_transport(args: argparse.Namespace) -> Transport:
     if args.transport == "memory":
         return MemoryTransport()
@@ -161,8 +183,22 @@ def _resolve_spec(args: argparse.Namespace) -> StackSpec:
 
 def _build_from_spec(args: argparse.Namespace) -> LiveCluster:
     spec = _resolve_spec(args)
+    sinks = parse_telemetry_sinks(args, spec_has_sinks=bool(spec.telemetry.sinks))
+    if sinks:
+        spec = spec.with_telemetry(
+            tuple(args.telemetry), period=getattr(args, "telemetry_period", None)
+        )
     transport = _build_transport(args)
-    host = NodeHost(transport, seed=spec.seed, time_scale=args.time_scale, spec=spec)
+    host = NodeHost(
+        transport,
+        seed=spec.seed,
+        time_scale=args.time_scale,
+        snapshot_sinks=sinks,
+        snapshot_period=getattr(args, "telemetry_period", None) or (
+            spec.telemetry.period if sinks else None
+        ),
+        spec=spec,
+    )
     popularity = build_popularity(spec)
     interest_model = build_interest_model(spec, popularity)
     # Same stream name as the simulator runner, so a live cluster and a
@@ -186,10 +222,13 @@ def _build_classic(args: argparse.Namespace) -> LiveCluster:
     provider = (
         lpbcast_provider() if args.membership == "lpbcast" else cyclon_provider()
     )
+    sinks = parse_telemetry_sinks(args)
     host = NodeHost(
         transport,
         seed=args.seed,
         time_scale=args.time_scale,
+        snapshot_sinks=sinks,
+        snapshot_period=getattr(args, "telemetry_period", None),
         membership_provider=provider,
         node_kwargs={
             "fanout": args.fanout,
@@ -276,8 +315,8 @@ async def _run_live(args: argparse.Namespace, live_report: bool) -> Dict[str, ob
             while True:
                 await asyncio.sleep(args.report_interval)
                 elapsed = asyncio.get_running_loop().time() - started
-                published = host.metrics.counter_value(PUBLISHED_METRIC)
-                deliveries = host.metrics.counter_value(DELIVERIES_METRIC)
+                published = host.telemetry.counter_value(PUBLISHED_METRIC)
+                deliveries = host.telemetry.counter_value(DELIVERIES_METRIC)
                 fairness = host.fairness_summary().report
                 print(
                     f"[serve +{elapsed:5.1f}s] published {published:8.0f} "
@@ -316,7 +355,7 @@ async def _run_live(args: argparse.Namespace, live_report: bool) -> Dict[str, ob
     # Latency and deliveries settle during the drain window; re-read them
     # after the run and widen the delivery-rate window accordingly.
     load.latency_seconds = generator.latency_summary_seconds()
-    load.deliveries = int(host.metrics.counter_value(DELIVERIES_METRIC))
+    load.deliveries = int(host.telemetry.counter_value(DELIVERIES_METRIC))
     load.drain_seconds = max(args.drain, 0.0)
 
     print()
@@ -451,6 +490,21 @@ def _add_common_runtime_options(parser: argparse.ArgumentParser) -> None:
         "--bind-port", type=int, default=0, help="socket transports: bind port (0 = ephemeral)"
     )
     parser.add_argument("--json", default=None, metavar="PATH", help="write the run artifact")
+    parser.add_argument(
+        "--telemetry",
+        action="append",
+        metavar="SINK",
+        help="stream periodic telemetry snapshots to a sink "
+        "(jsonl:PATH, csv:PATH, prom:PATH, memory); repeatable",
+    )
+    parser.add_argument(
+        "--telemetry-period",
+        type=float,
+        default=None,
+        metavar="UNITS",
+        help="snapshot period in protocol time units (default: 5.0; at "
+        "--time-scale 20 that is one snapshot every 0.25s)",
+    )
 
 
 def add_runtime_subcommands(subparsers) -> None:

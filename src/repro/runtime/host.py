@@ -37,6 +37,7 @@ from ..sim.metrics import MetricsRegistry
 from ..sim.node import ProcessRegistry
 from ..sim.rng import RngRegistry
 from ..registry import StackSpec, build_popularity, build_stack
+from ..telemetry import DEFAULT_SNAPSHOT_PERIOD, SnapshotScheduler, Telemetry, TelemetrySink
 from .clock import WallClock
 from .network import RuntimeNetwork
 from .scheduler import AsyncScheduler
@@ -80,6 +81,9 @@ class NodeHost(DisseminationSystem):
         ledger: Optional[WorkLedger] = None,
         delivery_log: Optional[DeliveryLog] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[Telemetry] = None,
+        snapshot_sinks: Optional[Sequence[TelemetrySink]] = None,
+        snapshot_period: Optional[float] = None,
         spec: Optional[StackSpec] = None,
     ) -> None:
         self.clock = WallClock(time_scale=time_scale)
@@ -90,7 +94,27 @@ class NodeHost(DisseminationSystem):
         self._delivery_log = delivery_log if delivery_log is not None else DeliveryLog()
         self.subscriptions = SubscriptionTable()
         self.registry = ProcessRegistry()
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: The telemetry store; ``metrics`` is the legacy ``(name, node)``
+        #: view over the *same* store, kept for compatibility call sites.
+        if metrics is not None:
+            self.metrics = metrics
+            self.telemetry = telemetry if telemetry is not None else metrics.telemetry
+        else:
+            self.telemetry = telemetry if telemetry is not None else Telemetry()
+            self.metrics = MetricsRegistry(telemetry=self.telemetry)
+        self._latency_histogram = self.telemetry.histogram(DELIVERY_LATENCY_METRIC)
+        self._deliveries_counter = self.telemetry.counter(DELIVERIES_METRIC)
+        self._published_counter = self.telemetry.counter(PUBLISHED_METRIC)
+        #: Periodic snapshot wiring: explicit arguments win, otherwise the
+        #: spec's TelemetrySpec applies.  Periods are in protocol time units
+        #: (the wall clock's scale maps them onto real seconds).
+        self._snapshot_sinks = list(snapshot_sinks) if snapshot_sinks else []
+        self._snapshot_period = snapshot_period
+        if spec is not None and spec.telemetry.sinks and not self._snapshot_sinks:
+            self._snapshot_sinks = spec.telemetry.build_sinks()
+            if self._snapshot_period is None:
+                self._snapshot_period = spec.telemetry.period
+        self.snapshot_scheduler: Optional[SnapshotScheduler] = None
         self.nodes: Dict[str, PushGossipNode] = {}
         self._factories: Dict[str, EventFactory] = {}
         self._node_class = node_class
@@ -141,6 +165,7 @@ class NodeHost(DisseminationSystem):
         kwargs = dict(self._node_kwargs)
         kwargs.update(overrides)
         cls = node_class if node_class is not None else self._node_class
+        kwargs.setdefault("telemetry", self.telemetry)
         node = cls(
             node_id,
             self.scheduler,
@@ -189,13 +214,32 @@ class NodeHost(DisseminationSystem):
             self.bootstrap(bootstrap_degree)
             for node in self.nodes.values():
                 node.start()
+        if self._snapshot_sinks and self.snapshot_scheduler is None:
+            period = (
+                self._snapshot_period
+                if self._snapshot_period is not None
+                else DEFAULT_SNAPSHOT_PERIOD
+            )
+            self.snapshot_scheduler = SnapshotScheduler(
+                self.telemetry,
+                self._snapshot_sinks,
+                period,
+                self.scheduler,
+                collect=self._collect_telemetry,
+            )
+            self.snapshot_scheduler.start()
         self._started = True
 
     def _build_from_spec(self, spec: StackSpec) -> None:
         """Build the system named by ``spec.system.kind`` and adopt it."""
         popularity = build_popularity(spec)
         system = build_stack(
-            spec, self.scheduler, self.network, popularity=popularity, live=True
+            spec,
+            self.scheduler,
+            self.network,
+            popularity=popularity,
+            live=True,
+            telemetry=self.telemetry,
         )
         self.adopt_system(system)
 
@@ -218,10 +262,17 @@ class NodeHost(DisseminationSystem):
             node.add_delivery_callback(self._record_delivery)
 
     async def stop(self) -> None:
-        """Stop all timers and tear the transport down."""
+        """Stop all timers and tear the transport down.
+
+        An active snapshot scheduler emits one final snapshot (so the
+        artifact always covers the full run) before the timers die.
+        """
         if not self._started:
             return
         self._started = False
+        if self.snapshot_scheduler is not None:
+            self.snapshot_scheduler.stop(final=True)
+            self.snapshot_scheduler = None
         self.scheduler.shutdown()
         await self.transport.stop()
 
@@ -235,7 +286,7 @@ class NodeHost(DisseminationSystem):
         """Publish an event from ``publisher_id`` (same API as GossipSystem)."""
         if self.system is not None:
             event = self.system.publish(publisher_id, event=event, **attributes)
-            self.metrics.increment(PUBLISHED_METRIC)
+            self._published_counter.increment()
             return event
         if event is None:
             factory = self._factories[publisher_id]
@@ -244,7 +295,7 @@ class NodeHost(DisseminationSystem):
             event = factory.create(attributes=attributes, topic=topic, size=size)
         event = event.with_time(self.scheduler.now)
         self.nodes[publisher_id].publish(event)
-        self.metrics.increment(PUBLISHED_METRIC)
+        self._published_counter.increment()
         return event
 
     def subscribe(
@@ -291,8 +342,16 @@ class NodeHost(DisseminationSystem):
 
     def _record_delivery(self, node_id: str, event: Event) -> None:
         latency_units = max(0.0, self.scheduler.now - event.published_at)
-        self.metrics.observe(DELIVERY_LATENCY_METRIC, latency_units)
-        self.metrics.increment(DELIVERIES_METRIC)
+        self._latency_histogram.observe(latency_units)
+        self._deliveries_counter.increment()
+
+    def _collect_telemetry(self) -> None:
+        """Refresh derived gauges right before a snapshot is frozen."""
+        self.telemetry.set_gauge("rt.time_units", self.scheduler.now)
+        self.telemetry.set_gauge("rt.nodes", len(self.nodes))
+        fairness = self.fairness_summary().report
+        self.telemetry.set_gauge("fairness.ratio_jain", fairness.ratio_jain)
+        self.telemetry.set_gauge("fairness.wasted_share", fairness.wasted_share)
 
     # -------------------------------------------------------------- queries
 

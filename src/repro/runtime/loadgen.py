@@ -11,7 +11,7 @@ many events the target rate says should have been published by now, so a
 slow tick is repaid on the next one instead of silently lowering the rate.
 
 Throughput and latency land in the host's
-:class:`~repro.sim.metrics.MetricsRegistry` (the same primitives the
+:class:`~repro.telemetry.Telemetry` store (the same instruments the
 simulator uses), and the published events are recorded in a
 :class:`~repro.workloads.publications.PublicationSchedule` so the existing
 reliability analysis works on live runs unchanged.
@@ -23,7 +23,7 @@ import asyncio
 import time
 from typing import Dict, List, Optional, Sequence
 
-from ..sim.metrics import HistogramSummary
+from ..telemetry import HistogramSummary
 from ..workloads.interest import AttributeInterest
 from ..workloads.popularity import TopicPopularity
 from ..workloads.publications import PublicationSchedule
@@ -157,7 +157,7 @@ class LoadGenerator:
         publishers = self.publishers or self.host.node_ids()
         if not publishers:
             raise ValueError("the host has no nodes to publish from")
-        deliveries_before = self.host.metrics.counter_value(DELIVERIES_METRIC)
+        deliveries_before = self.host.telemetry.counter_value(DELIVERIES_METRIC)
         started = time.monotonic()
         published = 0
         target_total = self.rate * duration_seconds
@@ -171,7 +171,7 @@ class LoadGenerator:
                 published += 1
             await asyncio.sleep(self.tick_seconds)
         elapsed = time.monotonic() - started
-        deliveries = self.host.metrics.counter_value(DELIVERIES_METRIC) - deliveries_before
+        deliveries = self.host.telemetry.counter_value(DELIVERIES_METRIC) - deliveries_before
         self._last_report = LoadReport(
             offered_rate=self.rate,
             published=published,
@@ -204,7 +204,7 @@ class LoadGenerator:
 
     def latency_summary_seconds(self) -> HistogramSummary:
         """Delivery latency summary converted from time units to seconds."""
-        units = self.host.metrics.histogram_summary(DELIVERY_LATENCY_METRIC)
+        units = self.host.telemetry.histogram_summary(DELIVERY_LATENCY_METRIC)
         convert = self.host.clock.units_to_seconds
         return HistogramSummary(
             count=units.count,

@@ -1,140 +1,70 @@
-"""Lightweight metric primitives.
+"""Legacy metric surface — a thin shim over :mod:`repro.telemetry`.
 
-The simulator and the protocols expose their state through three primitives:
-counters (monotonic), gauges (set to the latest value), and histograms
-(accumulate samples, summarise on demand).  A :class:`MetricsRegistry` keys
-them by ``(name, node)`` so per-node and system-wide views come from the same
-store.  Analysis code and the fairness accounting both read from here.
+Historically this module owned the metric primitives; they now live in
+:mod:`repro.telemetry.instruments` (with the histogram upgraded from an
+unbounded sample list to a bounded streaming estimator).  The names are
+re-exported unchanged, and :class:`MetricsRegistry` keeps its exact API —
+``(name, node)`` keys, per-node queries, one-call shortcuts — while
+delegating storage to a shared :class:`~repro.telemetry.Telemetry`
+instance, with the positional ``node`` parameter mapped onto the ``node``
+tag.  New code should use :class:`~repro.telemetry.Telemetry` directly.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List
 
-__all__ = ["Counter", "Gauge", "Histogram", "HistogramSummary", "MetricsRegistry"]
+from ..telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    Telemetry,
+    percentile,
+)
 
-
-@dataclass
-class Counter:
-    """Monotonically increasing counter."""
-
-    value: float = 0.0
-
-    def increment(self, amount: float = 1.0) -> None:
-        if amount < 0:
-            raise ValueError("counters only move forward; use a Gauge for decreasing values")
-        self.value += amount
-
-
-@dataclass
-class Gauge:
-    """Latest-value metric."""
-
-    value: float = 0.0
-
-    def set(self, value: float) -> None:
-        self.value = float(value)
-
-
-@dataclass
-class HistogramSummary:
-    """Summary statistics of a histogram's samples."""
-
-    count: int
-    mean: float
-    minimum: float
-    maximum: float
-    stddev: float
-    p50: float
-    p95: float
-    p99: float
-
-
-@dataclass
-class Histogram:
-    """Accumulates raw samples and summarises them on demand."""
-
-    samples: List[float] = field(default_factory=list)
-
-    def observe(self, value: float) -> None:
-        self.samples.append(float(value))
-
-    def summary(self) -> HistogramSummary:
-        if not self.samples:
-            return HistogramSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        ordered = sorted(self.samples)
-        count = len(ordered)
-        mean = sum(ordered) / count
-        variance = sum((sample - mean) ** 2 for sample in ordered) / count
-        return HistogramSummary(
-            count=count,
-            mean=mean,
-            minimum=ordered[0],
-            maximum=ordered[-1],
-            stddev=math.sqrt(variance),
-            p50=percentile(ordered, 0.50),
-            p95=percentile(ordered, 0.95),
-            p99=percentile(ordered, 0.99),
-        )
-
-
-def percentile(ordered: List[float], quantile: float) -> float:
-    """Linear-interpolation percentile of an already sorted sample list."""
-    if not ordered:
-        return 0.0
-    if not 0.0 <= quantile <= 1.0:
-        raise ValueError("quantile must be within [0, 1]")
-    if len(ordered) == 1:
-        return ordered[0]
-    position = quantile * (len(ordered) - 1)
-    lower = int(math.floor(position))
-    upper = int(math.ceil(position))
-    if lower == upper:
-        return ordered[lower]
-    fraction = position - lower
-    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "percentile",
+]
 
 
 class MetricsRegistry:
-    """Store of named, optionally per-node metrics."""
+    """Store of named, optionally per-node metrics (telemetry-backed).
+
+    ``node=""`` (the historical "system slot") maps to an untagged
+    instrument; any other node id becomes the ``node`` tag.  A registry can
+    wrap an existing :class:`Telemetry` so old and new call sites observe
+    the same store — that is how :class:`~repro.runtime.host.NodeHost`
+    keeps its ``host.metrics`` view alive on top of ``host.telemetry``.
+    """
 
     _SYSTEM = ""
 
-    def __init__(self) -> None:
-        self._counters: Dict[Tuple[str, str], Counter] = {}
-        self._gauges: Dict[Tuple[str, str], Gauge] = {}
-        self._histograms: Dict[Tuple[str, str], Histogram] = {}
+    def __init__(self, telemetry: Telemetry = None) -> None:
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    @staticmethod
+    def _tags(node: str) -> Dict[str, str]:
+        return {"node": node} if node else {}
 
     # --------------------------------------------------------------- access
 
     def counter(self, name: str, node: str = _SYSTEM) -> Counter:
         """Return (creating if needed) the counter ``name`` for ``node``."""
-        key = (name, node)
-        metric = self._counters.get(key)
-        if metric is None:
-            metric = Counter()
-            self._counters[key] = metric
-        return metric
+        return self.telemetry.counter(name, **self._tags(node))
 
     def gauge(self, name: str, node: str = _SYSTEM) -> Gauge:
         """Return (creating if needed) the gauge ``name`` for ``node``."""
-        key = (name, node)
-        metric = self._gauges.get(key)
-        if metric is None:
-            metric = Gauge()
-            self._gauges[key] = metric
-        return metric
+        return self.telemetry.gauge(name, **self._tags(node))
 
     def histogram(self, name: str, node: str = _SYSTEM) -> Histogram:
         """Return (creating if needed) the histogram ``name`` for ``node``."""
-        key = (name, node)
-        metric = self._histograms.get(key)
-        if metric is None:
-            metric = Histogram()
-            self._histograms[key] = metric
-        return metric
+        return self.telemetry.histogram(name, **self._tags(node))
 
     # ------------------------------------------------------------ shortcuts
 
@@ -150,43 +80,32 @@ class MetricsRegistry:
 
     def counter_value(self, name: str, node: str = _SYSTEM) -> float:
         """Current value of a counter (0 if it was never touched)."""
-        metric = self._counters.get((name, node))
-        return metric.value if metric is not None else 0.0
+        return self.telemetry.counter_value(name, **self._tags(node))
 
     def counter_total(self, name: str) -> float:
         """Sum of a counter over every node (including the system slot)."""
-        return sum(metric.value for (metric_name, _), metric in self._counters.items() if metric_name == name)
+        return self.telemetry.counter_total(name)
 
     def per_node_counter(self, name: str) -> Dict[str, float]:
         """Mapping ``node -> value`` for a counter, excluding the system slot."""
-        return {
-            node: metric.value
-            for (metric_name, node), metric in self._counters.items()
-            if metric_name == name and node != self._SYSTEM
-        }
+        return self.telemetry.counters_by_tag(name, "node")
 
     def per_node_gauge(self, name: str) -> Dict[str, float]:
         """Mapping ``node -> value`` for a gauge, excluding the system slot."""
-        return {
-            node: metric.value
-            for (metric_name, node), metric in self._gauges.items()
-            if metric_name == name and node != self._SYSTEM
-        }
+        return self.telemetry.gauges_by_tag(name, "node")
 
     def histogram_summary(self, name: str, node: str = _SYSTEM) -> HistogramSummary:
         """Summary of a histogram (empty summary if never observed)."""
-        return self.histogram(name, node).summary()
+        return self.telemetry.histogram_summary(name, **self._tags(node))
 
     def names(self) -> Dict[str, List[str]]:
         """All metric names grouped by primitive type."""
-        return {
-            "counters": sorted({name for name, _ in self._counters}),
-            "gauges": sorted({name for name, _ in self._gauges}),
-            "histograms": sorted({name for name, _ in self._histograms}),
-        }
+        return self.telemetry.names()
 
     def reset(self) -> None:
-        """Forget every metric (between independent runs)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        """Zero every metric in place (between independent runs).
+
+        Instrument objects survive — see :meth:`Telemetry.reset` — so code
+        holding a counter/histogram keeps writing to the same store.
+        """
+        self.telemetry.reset()

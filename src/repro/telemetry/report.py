@@ -1,0 +1,231 @@
+"""Post-hoc reporting: render tables from telemetry and result artifacts.
+
+Backs ``python -m repro report ARTIFACT``.  The loader sniffs the artifact
+kind — no re-running experiments required:
+
+* **JSON-lines snapshot streams** (``--telemetry jsonl:...`` output): a
+  per-snapshot time-series table plus fairness / latency tables built from
+  the *final* snapshot via the snapshot-aware constructors in
+  :mod:`repro.analysis`;
+* **experiment result artifacts** (``--json`` output of
+  ``run``/``sweep``/``compare``: ``{"schema": ..., "results": [...]}``);
+* **cache artifacts** (one ``{"schema": ..., "result": {...}}`` file from
+  ``.repro-cache``);
+* **runtime artifacts** (``serve``/``loadgen`` ``--json`` output,
+  ``rt-load/v1``).
+
+Results loaded from an artifact and results loaded from the cache render
+through the same code path, so the tables are identical for identical
+result payloads — the property ``tests/test_telemetry.py`` pins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from .snapshot import SNAPSHOT_SCHEMA, TelemetrySnapshot
+from .sinks import read_snapshots_jsonl
+
+__all__ = [
+    "load_report_source",
+    "render_report",
+    "render_results",
+    "render_snapshots",
+    "ReportSource",
+]
+
+
+class ReportSource:
+    """One loaded artifact: its kind plus the decoded payload."""
+
+    def __init__(self, kind: str, path: str, snapshots=None, results=None, runtime=None):
+        self.kind = kind  # "snapshots" | "results" | "runtime"
+        self.path = path
+        self.snapshots: List[TelemetrySnapshot] = snapshots or []
+        self.results = results or []
+        self.runtime: Dict[str, object] = runtime or {}
+
+
+def _looks_like_snapshot_line(line: str) -> bool:
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return False
+    return isinstance(payload, dict) and payload.get("schema") == SNAPSHOT_SCHEMA
+
+
+def load_report_source(path: str) -> ReportSource:
+    """Sniff and load one artifact; raises ``ValueError`` on unknown shapes."""
+    if not os.path.exists(path):
+        raise ValueError(f"artifact {path!r} does not exist")
+    with open(path, "r", encoding="utf-8") as handle:
+        head = handle.readline().strip()
+    # Cheap JSON-lines sniff: only attempt to parse the head line when it
+    # can plausibly be a snapshot (pretty-printed artifacts start with a
+    # bare "{" and are skipped without parsing anything twice).
+    if SNAPSHOT_SCHEMA in head and _looks_like_snapshot_line(head):
+        return ReportSource("snapshots", path, snapshots=read_snapshots_jsonl(path))
+
+    from ..experiments.runner import ExperimentResult
+
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except ValueError as error:
+            raise ValueError(
+                f"artifact {path!r} is neither JSON-lines telemetry nor a JSON artifact: {error}"
+            )
+    if not isinstance(payload, dict):
+        raise ValueError(f"artifact {path!r} is not a JSON object")
+    if payload.get("schema") == SNAPSHOT_SCHEMA:
+        return ReportSource(
+            "snapshots", path, snapshots=[TelemetrySnapshot.from_dict(payload)]
+        )
+    if "results" in payload:
+        results = [ExperimentResult.from_dict(entry) for entry in payload["results"]]
+        return ReportSource("results", path, results=results)
+    if "result" in payload:
+        return ReportSource(
+            "results", path, results=[ExperimentResult.from_dict(payload["result"])]
+        )
+    if str(payload.get("schema", "")).startswith("rt-load/"):
+        return ReportSource("runtime", path, runtime=payload)
+    raise ValueError(
+        f"artifact {path!r} has an unrecognised shape; expected a telemetry "
+        "JSON-lines stream, a results artifact (--json), a cache artifact, or "
+        "a runtime artifact"
+    )
+
+
+# ---------------------------------------------------------------- rendering
+
+
+def render_results(results: Sequence, max_rows: int = 10) -> str:
+    """Fairness + reliability + latency tables for experiment results."""
+    from ..analysis.tables import Table
+    from ..experiments.sweeps import results_table
+
+    sections: List[str] = [results_table(results, title="results").render()]
+    latency = Table(
+        ["name", "events", "mean_latency", "p95_latency", "max_latency", "mean_rounds"],
+        title="delivery latency (time units)",
+    )
+    for result in results:
+        reliability = result.reliability
+        latency.add_row(
+            name=result.config.name,
+            events=len(reliability.events),
+            mean_latency=reliability.mean_latency,
+            p95_latency=reliability.p95_latency,
+            max_latency=reliability.max_latency,
+            mean_rounds=reliability.mean_rounds,
+        )
+    sections.append(latency.render())
+    for result in results:
+        sections.append(result.fairness.render(max_rows=max_rows))
+    return "\n\n".join(sections)
+
+
+def _series_columns(snapshots: Sequence[TelemetrySnapshot]) -> Tuple[List[str], List[str]]:
+    """Untagged counter and gauge names present in the final snapshot."""
+    final = snapshots[-1]
+    counters = sorted({name for name, tags, _ in final.counters if not tags})
+    gauges = sorted({name for name, tags, _ in final.gauges if not tags})
+    return counters, gauges
+
+
+def render_snapshots(snapshots: Sequence[TelemetrySnapshot], max_rows: int = 10) -> str:
+    """Time-series + final-state tables for a snapshot stream."""
+    from ..analysis.fairness_report import fairness_table_from_snapshot
+    from ..analysis.tables import Table
+
+    if not snapshots:
+        return "(no snapshots in artifact)"
+    counters, gauges = _series_columns(snapshots)
+    series = Table(
+        ["sequence", "at"] + counters + gauges,
+        title=f"telemetry time series ({len(snapshots)} snapshots)",
+    )
+    for snapshot in snapshots:
+        # One dict per snapshot instead of a linear counter_value/gauge_value
+        # scan per cell — snapshots of large runs carry thousands of tagged
+        # entries and the per-lookup scan makes rendering quadratic.
+        counter_values = {name: value for name, tags, value in snapshot.counters if not tags}
+        gauge_values = {name: value for name, tags, value in snapshot.gauges if not tags}
+        row: Dict[str, object] = {"sequence": snapshot.sequence, "at": snapshot.at}
+        for name in counters:
+            row[name] = counter_values.get(name, 0.0)
+        for name in gauges:
+            row[name] = gauge_values.get(name, 0.0)
+        series.add_row(**row)
+    sections = [series.render()]
+
+    final = snapshots[-1]
+    if final.histograms:
+        # Aggregate (untagged) histograms first — per-node ones are many and
+        # would otherwise crowd the headline latency metrics past the cap.
+        untagged = [entry for entry in final.histograms if not entry[1]]
+        tagged = [entry for entry in final.histograms if entry[1]]
+        shown = (untagged + tagged)[:max_rows]
+        title = "histograms (final snapshot)"
+        if len(final.histograms) > len(shown):
+            title += f" — {len(shown)} of {len(final.histograms)}"
+        latency = Table(
+            ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+            title=title,
+        )
+        for name, tags, state in shown:
+            summary = state.summary()
+            label = name if not tags else name + "{" + ",".join(
+                f"{key}={value}" for key, value in tags
+            ) + "}"
+            latency.add_row(
+                histogram=label,
+                count=summary.count,
+                mean=summary.mean,
+                p50=summary.p50,
+                p95=summary.p95,
+                p99=summary.p99,
+                max=summary.maximum,
+            )
+        sections.append(latency.render())
+
+    fairness = fairness_table_from_snapshot(final, max_rows=max_rows)
+    if fairness is not None:
+        sections.append(fairness.render())
+    return "\n\n".join(sections)
+
+
+def _render_runtime(artifact: Dict[str, object]) -> str:
+    from ..analysis.tables import format_mapping
+
+    load = artifact.get("load", {})
+    rows = {
+        "schema": artifact.get("schema"),
+        "transport": artifact.get("transport"),
+        "system": artifact.get("system"),
+        "nodes": artifact.get("nodes"),
+        "delivery_ratio": artifact.get("delivery_ratio"),
+        "events_per_second": load.get("events_per_second"),
+        "deliveries_per_second": load.get("deliveries_per_second"),
+        "latency_p50_seconds": load.get("latency_p50_seconds"),
+        "latency_p99_seconds": load.get("latency_p99_seconds"),
+    }
+    fairness = artifact.get("fairness", {})
+    if isinstance(fairness, dict):
+        for key in ("ratio_jain", "wasted_share"):
+            if key in fairness:
+                rows[f"fairness_{key}"] = fairness[key]
+    rows = {key: value for key, value in rows.items() if value is not None}
+    return format_mapping(rows, title="runtime artifact")
+
+
+def render_report(source: ReportSource, max_rows: int = 10) -> str:
+    """Render whatever the loaded artifact contains."""
+    if source.kind == "snapshots":
+        return render_snapshots(source.snapshots, max_rows=max_rows)
+    if source.kind == "results":
+        return render_results(source.results, max_rows=max_rows)
+    return _render_runtime(source.runtime)

@@ -1,0 +1,316 @@
+"""Pluggable snapshot sinks: ring buffer, JSON lines, CSV, Prometheus.
+
+A sink receives every :class:`~repro.telemetry.snapshot.TelemetrySnapshot`
+the :class:`~repro.telemetry.snapshot.SnapshotScheduler` emits.  The
+``TelemetrySink`` protocol is two methods — ``emit(snapshot)`` and
+``close()`` — so custom exporters (a metrics socket, a database writer) are
+a dozen lines.  Sinks are addressable from the CLI via compact specs::
+
+    --telemetry jsonl:out/metrics.jsonl
+    --telemetry csv:out/metrics.csv
+    --telemetry prom:out/metrics.prom
+    --telemetry memory            (or memory:512 for a custom capacity)
+
+JSON-lines output is the canonical archival format: one canonical-JSON
+snapshot per line (sorted keys, no whitespace), so two deterministic runs
+produce byte-identical streams and :func:`read_snapshots_jsonl` restores
+the exact snapshots (``TelemetrySnapshot.from_dict(s.to_dict()) == s``).
+"""
+
+from __future__ import annotations
+
+import collections
+import csv
+import json
+import os
+import tempfile
+from typing import Deque, Dict, IO, List, Optional, Sequence
+
+from .instruments import HistogramState
+from .snapshot import TelemetrySnapshot
+
+__all__ = [
+    "DEFAULT_SNAPSHOT_PERIOD",
+    "TelemetrySink",
+    "MemorySink",
+    "JsonlSink",
+    "CsvSink",
+    "PrometheusSink",
+    "parse_sink_spec",
+    "read_snapshots_jsonl",
+    "render_prometheus",
+]
+
+#: Snapshot cadence used when nothing (spec or CLI) says otherwise, in
+#: protocol time units.  Referenced by ``TelemetrySpec``, the experiment
+#: runner, and the live host so the default cannot drift between them.
+DEFAULT_SNAPSHOT_PERIOD = 5.0
+
+try:  # Python < 3.8 has no typing.Protocol; degrade to a plain base class.
+    from typing import Protocol, runtime_checkable
+
+    @runtime_checkable
+    class TelemetrySink(Protocol):
+        """What a snapshot consumer must implement."""
+
+        def emit(self, snapshot: TelemetrySnapshot) -> None:
+            """Receive one snapshot."""
+
+        def close(self) -> None:
+            """Flush and release resources (idempotent)."""
+
+except ImportError:  # pragma: no cover - ancient interpreters only
+
+    class TelemetrySink:  # type: ignore[no-redef]
+        def emit(self, snapshot: TelemetrySnapshot) -> None:
+            raise NotImplementedError
+
+        def close(self) -> None:
+            raise NotImplementedError
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+class MemorySink:
+    """Bounded in-memory ring buffer of the most recent snapshots."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._snapshots: Deque[TelemetrySnapshot] = collections.deque(maxlen=capacity)
+
+    def emit(self, snapshot: TelemetrySnapshot) -> None:
+        self._snapshots.append(snapshot)
+
+    def close(self) -> None:  # ring buffers hold no resources
+        pass
+
+    @property
+    def snapshots(self) -> List[TelemetrySnapshot]:
+        """The retained snapshots, oldest first."""
+        return list(self._snapshots)
+
+    @property
+    def latest(self) -> Optional[TelemetrySnapshot]:
+        """The most recent snapshot (None before the first emit)."""
+        return self._snapshots[-1] if self._snapshots else None
+
+
+class JsonlSink:
+    """One canonical-JSON snapshot per line; the archival format."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+
+    def emit(self, snapshot: TelemetrySnapshot) -> None:
+        if self._handle is None:
+            _ensure_parent(self.path)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(
+            json.dumps(snapshot.to_dict(), sort_keys=True, separators=(",", ":"))
+        )
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_snapshots_jsonl(path: str) -> List[TelemetrySnapshot]:
+    """Load every snapshot from a JSON-lines file written by :class:`JsonlSink`."""
+    snapshots: List[TelemetrySnapshot] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                snapshots.append(TelemetrySnapshot.from_dict(json.loads(line)))
+    return snapshots
+
+
+def _metric_column(kind: str, name: str, tags) -> str:
+    if not tags:
+        return f"{kind}:{name}"
+    rendered = ",".join(f"{key}={value}" for key, value in tags)
+    return f"{kind}:{name}{{{rendered}}}"
+
+
+class CsvSink:
+    """Flat time-series CSV: one row per snapshot.
+
+    Columns are fixed by the *first* snapshot (``sequence``, ``at``, one
+    column per counter/gauge, and count/mean/p50/p95/p99 columns per
+    histogram); metrics appearing later than the first snapshot are dropped
+    from the CSV (the JSON-lines sink is the lossless format).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+        self._writer = None
+        self._columns: List[str] = []
+
+    def _columns_for(self, snapshot: TelemetrySnapshot) -> List[str]:
+        columns = ["sequence", "at"]
+        columns.extend(
+            _metric_column("counter", name, tags) for name, tags, _ in snapshot.counters
+        )
+        columns.extend(
+            _metric_column("gauge", name, tags) for name, tags, _ in snapshot.gauges
+        )
+        for name, tags, _ in snapshot.histograms:
+            base = _metric_column("histogram", name, tags)
+            columns.extend(
+                f"{base}.{statistic}" for statistic in ("count", "mean", "p50", "p95", "p99")
+            )
+        return columns
+
+    def emit(self, snapshot: TelemetrySnapshot) -> None:
+        if self._handle is None:
+            _ensure_parent(self.path)
+            self._handle = open(self.path, "w", encoding="utf-8", newline="")
+            self._writer = csv.writer(self._handle)
+            self._columns = self._columns_for(snapshot)
+            self._writer.writerow(self._columns)
+        row: Dict[str, object] = {"sequence": snapshot.sequence, "at": snapshot.at}
+        for name, tags, value in snapshot.counters:
+            row[_metric_column("counter", name, tags)] = value
+        for name, tags, value in snapshot.gauges:
+            row[_metric_column("gauge", name, tags)] = value
+        for name, tags, state in snapshot.histograms:
+            base = _metric_column("histogram", name, tags)
+            summary = state.summary()
+            row[f"{base}.count"] = summary.count
+            row[f"{base}.mean"] = summary.mean
+            row[f"{base}.p50"] = summary.p50
+            row[f"{base}.p95"] = summary.p95
+            row[f"{base}.p99"] = summary.p99
+        self._writer.writerow([row.get(column, "") for column in self._columns])
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _prometheus_name(name: str) -> str:
+    sanitized = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _prometheus_labels(tags, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = list(tags) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    escaped = ",".join(
+        '{}="{}"'.format(key, str(value).replace("\\", "\\\\").replace('"', '\\"'))
+        for key, value in pairs
+    )
+    return "{" + escaped + "}"
+
+
+def render_prometheus(snapshot: TelemetrySnapshot) -> str:
+    """Prometheus text exposition (version 0.0.4) of one snapshot.
+
+    Counters and gauges map directly; histograms are exposed summary-style
+    (``_count``/``_sum`` plus ``quantile`` gauges computed from the bounded
+    bucket state).  Usable as a file for ``node_exporter``'s textfile
+    collector, or served over HTTP by anything that can read a file.
+    """
+    lines: List[str] = [
+        f"# repro telemetry snapshot sequence={snapshot.sequence} at={snapshot.at}"
+    ]
+    typed_names = set()
+    for name, tags, value in snapshot.counters:
+        metric = _prometheus_name(name)
+        if metric not in typed_names:
+            lines.append(f"# TYPE {metric} counter")
+            typed_names.add(metric)
+        lines.append(f"{metric}{_prometheus_labels(tags)} {value}")
+    for name, tags, value in snapshot.gauges:
+        metric = _prometheus_name(name)
+        if metric not in typed_names:
+            lines.append(f"# TYPE {metric} gauge")
+            typed_names.add(metric)
+        lines.append(f"{metric}{_prometheus_labels(tags)} {value}")
+    for name, tags, state in snapshot.histograms:
+        metric = _prometheus_name(name)
+        if metric not in typed_names:
+            lines.append(f"# TYPE {metric} summary")
+            typed_names.add(metric)
+        summary = state.summary()
+        for quantile, quantile_value in (
+            ("0.5", summary.p50),
+            ("0.95", summary.p95),
+            ("0.99", summary.p99),
+        ):
+            labels = _prometheus_labels(tags, {"quantile": quantile})
+            lines.append(f"{metric}{labels} {quantile_value}")
+        lines.append(f"{metric}_count{_prometheus_labels(tags)} {state.count}")
+        lines.append(f"{metric}_sum{_prometheus_labels(tags)} {state.total}")
+    return "\n".join(lines) + "\n"
+
+
+class PrometheusSink:
+    """Maintains a Prometheus textfile with the latest snapshot.
+
+    Each emit atomically replaces the file (temp file + rename), so a
+    scraper never reads a torn exposition.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def emit(self, snapshot: TelemetrySnapshot) -> None:
+        _ensure_parent(self.path)
+        directory = os.path.dirname(self.path) or "."
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=directory, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(render_prometheus(snapshot))
+            os.replace(handle.name, self.path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def close(self) -> None:  # the latest exposition stays on disk
+        pass
+
+
+def parse_sink_spec(spec: str):
+    """Build a sink from a compact CLI spec (``kind`` or ``kind:argument``).
+
+    Supported kinds: ``jsonl:PATH``, ``csv:PATH``, ``prom:PATH`` (alias
+    ``prometheus:PATH``), and ``memory`` (optional ``memory:CAPACITY``).
+    """
+    kind, _, argument = spec.partition(":")
+    kind = kind.strip().lower()
+    argument = argument.strip()
+    if kind not in ("memory", "jsonl", "csv", "prom", "prometheus"):
+        raise ValueError(
+            f"unknown telemetry sink kind {kind!r}; expected jsonl, csv, prom, or memory"
+        )
+    if kind == "memory":
+        return MemorySink(capacity=int(argument)) if argument else MemorySink()
+    if not argument:
+        raise ValueError(
+            f"telemetry sink {spec!r} needs a path, e.g. {kind}:out/metrics.{kind}"
+        )
+    if kind == "jsonl":
+        return JsonlSink(argument)
+    if kind == "csv":
+        return CsvSink(argument)
+    return PrometheusSink(argument)
