@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-rt bench-metrics serve-smoke serve-scenario-smoke registry-smoke report-smoke clean-cache
+.PHONY: test bench bench-smoke bench-rt bench-metrics bench-faults serve-smoke serve-scenario-smoke registry-smoke report-smoke fault-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +48,22 @@ report-smoke:
 	$(PYTHON) -m repro report out/smoke_results.json
 	$(PYTHON) -m repro serve --scenario smoke --transport memory --duration 2 --rate 100 --drain 0.5 --telemetry jsonl:out/live_metrics.jsonl
 	$(PYTHON) -m repro report out/live_metrics.jsonl
+
+# Fault-injection round trip: the registered fault scenarios on the
+# simulator (churn + a mid-run partition, with a fault timeline in the
+# report), then the SAME fault plan JSON driving a simulated run and a
+# short live cluster (memory transport).
+fault-smoke:
+	$(PYTHON) -m repro run smoke-churn --no-cache --set faults.partition.at=2 --set faults.partition.heal_after=2
+	$(PYTHON) -m repro run smoke-partition --no-cache --telemetry jsonl:out/fault_metrics.jsonl
+	$(PYTHON) -m repro report out/fault_metrics.jsonl
+	$(PYTHON) -m repro run smoke --no-cache --fault examples/fault_plan.json
+	$(PYTHON) -m repro serve --scenario smoke --fault examples/fault_plan.json --transport memory --duration 3 --rate 200 --drain 0.5
+
+# Fault-layer overhead: writes BENCH_fault_overhead.json (an active-but-idle
+# FaultController must stay <5% on the smoke scenario, physics untouched).
+bench-faults:
+	$(PYTHON) -m pytest benchmarks/bench_fault_overhead.py -q -s
 
 # BENCH_metrics_overhead.json is tracked (it seeds the perf trajectory), so
 # clean-cache leaves it alone; re-run `make bench-metrics` to refresh it.

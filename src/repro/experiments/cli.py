@@ -89,7 +89,25 @@ def _resolve_config(args: argparse.Namespace) -> ExperimentConfig:
             config = config.spec().with_values(parse_spec_overrides(args.set)).to_config()
         except RegistryError as error:
             raise SystemExit(str(error))
+    _validate_fault_config(config)
     return config
+
+
+def _validate_fault_config(config: ExperimentConfig) -> None:
+    """Fail a bad fault plan (from --set or merged --fault entries) as a
+    clean CLI error before any experiment builds or workers spawn.
+
+    The node universe is deliberately NOT pinned here: plans may target a
+    system's infra nodes (``broker-0``, rendezvous nodes), which only exist
+    once the system is built — ``run_experiment`` validates against the
+    built registry and its error flows through :func:`_run_clean`.
+    """
+    from ..faults import FaultPlan, FaultPlanError
+
+    try:
+        FaultPlan.from_flat(config).validate(total_time=config.total_time)
+    except FaultPlanError as error:
+        raise SystemExit(str(error))
 
 
 def _build_executor(args: argparse.Namespace) -> ParallelSweepExecutor:
@@ -125,6 +143,24 @@ def _emit_results(
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _resolve_config(args)
+    if getattr(args, "fault", None):
+        # The plan entries become part of the flat config (fault_plan), so
+        # they feed the cache identity like any other physics parameter —
+        # and the very same JSON file drives `serve --fault` live.
+        from ..faults import FaultPlan, FaultPlanError
+
+        try:
+            plan = FaultPlan.from_file(args.fault).validate(
+                total_time=config.total_time
+            )
+        except FaultPlanError as error:
+            raise SystemExit(str(error))
+        config = config.with_overrides(
+            fault_plan=config.fault_plan + plan.entry_pairs()
+        )
+        # The file validated alone; the merge with the scenario's own fault
+        # entries (e.g. overlapping partition windows) must too.
+        _validate_fault_config(config)
     # Validate the telemetry wiring before building the whole stack so a
     # typo'd sink spec (or a dangling --telemetry-period) fails as a clean
     # CLI error, not a traceback after the simulation ran (shared with
@@ -136,19 +172,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Telemetry sinks hold open files and are not picklable, so a
         # telemetry-enabled run executes in-process and bypasses the cache
         # (the snapshot stream is the artifact being produced).
-        result = run_experiment(
-            config,
-            snapshot_sinks=sinks,
-            snapshot_period=args.telemetry_period,
+        result = _run_clean(
+            lambda: run_experiment(
+                config,
+                snapshot_sinks=sinks,
+                snapshot_period=args.telemetry_period,
+            )
         )
         _emit_results(args, None, [result], title=f"run — {config.name}")
         for sink in args.telemetry:
             print(f"telemetry sink: {sink}")
         return 0
     executor = _build_executor(args)
-    results = executor.run_many([config])
+    results = _run_clean(lambda: executor.run_many([config]))
     _emit_results(args, executor, results, title=f"run — {config.name}")
     return 0
+
+
+def _run_clean(execute):
+    """Run an executor call, turning FaultPlanError into a clean CLI error.
+
+    Swept grid points can carry fault values the base config never had
+    (``sweep --param faults.churn.down_probability --values 1.5``), so the
+    up-front ``_validate_fault_config`` cannot catch everything.
+    """
+    from ..faults import FaultPlanError
+
+    try:
+        return execute()
+    except FaultPlanError as error:
+        raise SystemExit(str(error))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -156,8 +209,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         path = resolve_spec_path(args.param)
     except RegistryError as error:
         raise SystemExit(str(error))
-    if path == "extra":
-        raise SystemExit("config field 'extra' is structured and cannot be swept")
+    if path in ("extra", "faults.plan"):
+        raise SystemExit(f"config field {path!r} is structured and cannot be swept")
     config = _resolve_config(args)
     spec = config.spec()
     # Route each value through the spec so type coercion (int → float for
@@ -171,7 +224,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("--values must name at least one value")
     parameter = PATH_TO_FLAT[path]
     executor = _build_executor(args)
-    results = executor.sweep(config, parameter, values, reseed=args.reseed)
+    results = _run_clean(
+        lambda: executor.sweep(config, parameter, values, reseed=args.reseed)
+    )
     _emit_results(
         args, executor, results, title=f"sweep — {config.name} over {path}={values}"
     )
@@ -189,7 +244,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     config = _resolve_config(args)
     executor = _build_executor(args)
-    results = executor.compare(config, systems)
+    results = _run_clean(lambda: executor.compare(config, systems))
     _emit_results(
         args, executor, results, title=f"compare — {config.name} across {', '.join(systems)}"
     )
@@ -312,6 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one scenario")
     _add_common_options(run_parser)
+    run_parser.add_argument(
+        "--fault",
+        default=None,
+        metavar="PLAN.json",
+        help="inject a declarative fault plan (crash/churn/partition/perturb "
+        "entries; the same file drives `serve --fault` live); entries become "
+        "part of the config and its cache key",
+    )
     run_parser.add_argument(
         "--telemetry",
         action="append",

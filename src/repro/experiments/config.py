@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..faults.plan import jsonify as _deep_jsonify, tuplify as _deep_tuplify
+
 __all__ = ["ExperimentConfig"]
 
 
@@ -54,6 +56,20 @@ class ExperimentConfig:
         Per-round node churn probabilities (0 disables node churn).
     subscription_churn_rate:
         Subscribe/unsubscribe operations per time unit (0 disables).
+    fault_churn_start / fault_churn_stop / fault_churn_period:
+        Window and tick period of the node-churn fault entry (0 period
+        means one gossip round; 0 stop means run end).
+    fault_partition_at / fault_partition_heal_after / fault_partition_fraction:
+        One transient network partition (``heal_after`` of 0 disables it).
+    fault_perturb_start / fault_perturb_stop / fault_perturb_latency /
+    fault_perturb_loss:
+        Link-degradation window: additive delivery latency and extra loss.
+    fault_plan:
+        Free-form :class:`~repro.faults.plan.FaultSpec` entries (tuples of
+        ``(field, value)`` pairs) appended to the compiled fault plan —
+        what ``--fault plan.json`` feeds.  All ``fault_*`` fields are
+        omitted from :meth:`to_dict` at their defaults so fault-free
+        configs keep their historical cache keys.
     broker_count / stripes / delegates_per_root:
         Baseline-specific knobs.
     fairness_policy:
@@ -99,6 +115,17 @@ class ExperimentConfig:
     max_payload: int = 32
     selfish_fraction: float = 0.0
     event_size: int = 1
+    fault_churn_start: float = 0.0
+    fault_churn_stop: float = 0.0
+    fault_churn_period: float = 0.0
+    fault_partition_at: float = 0.0
+    fault_partition_heal_after: float = 0.0
+    fault_partition_fraction: float = 0.5
+    fault_perturb_start: float = 0.0
+    fault_perturb_stop: float = 0.0
+    fault_perturb_latency: float = 0.0
+    fault_perturb_loss: float = 0.0
+    fault_plan: Tuple[Tuple[Tuple[str, object], ...], ...] = ()
     extra: Tuple[Tuple[str, object], ...] = ()
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
@@ -112,12 +139,24 @@ class ExperimentConfig:
         pairs (JSON has no tuples).  The canonical JSON encoding of this
         dictionary is what the result cache hashes, so the mapping must stay
         deterministic: plain field values only, no derived data.
+
+        ``fault_*`` fields at their defaults are omitted entirely: a
+        fault-free config therefore encodes byte-for-byte as it did before
+        fault injection existed, which is what keeps historical cache keys
+        (and cached artifacts) valid.
         """
         payload: Dict[str, object] = {}
         for config_field in fields(self):
             value = getattr(self, config_field.name)
             if config_field.name == "extra":
                 value = [[key, entry] for key, entry in value]
+            elif config_field.name == "fault_plan":
+                if not value:
+                    continue
+                value = _deep_jsonify(value)
+            elif config_field.name.startswith("fault_"):
+                if value == config_field.default:
+                    continue
             payload[config_field.name] = value
         return payload
 
@@ -135,6 +174,8 @@ class ExperimentConfig:
         values = dict(payload)
         if "extra" in values:
             values["extra"] = tuple((key, entry) for key, entry in values["extra"])
+        if "fault_plan" in values:
+            values["fault_plan"] = _deep_tuplify(values["fault_plan"])
         return ExperimentConfig(**values)
 
     def extra_dict(self) -> Dict[str, object]:

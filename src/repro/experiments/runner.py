@@ -4,8 +4,9 @@ One call to :func:`run_experiment` performs a complete simulated experiment:
 
 1. build the simulator, network, and dissemination system;
 2. assign interests (subscriptions) according to the workload model;
-3. start the publication workload, plus node churn and subscription churn if
-   configured;
+3. start the publication workload, the fault plan compiled from the config
+   (node churn, crash schedules, partitions, link perturbation), and
+   subscription churn if configured;
 4. run the simulation for the configured duration and drain window;
 5. measure fairness (per the configured policy) and reliability, and return
    everything in an :class:`ExperimentResult`.
@@ -16,7 +17,6 @@ this function and tabulating the results.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -28,8 +28,8 @@ from ..analysis import (
 )
 from ..core import FairnessPolicy
 from ..core.fairness import evaluate_fairness
+from ..faults import FaultController, FaultPlan, FaultPlanError
 from ..pubsub.events import Event
-from ..sim import ChurnInjector
 from ..telemetry import (
     DEFAULT_SNAPSHOT_PERIOD,
     SnapshotScheduler,
@@ -213,29 +213,34 @@ def run_experiment(
         )
     workload.start(duration=config.duration, start_at=config.round_period)
 
-    churn_injector: Optional[ChurnInjector] = None
-    if config.churn_down_probability > 0:
-        if hasattr(system, "registry"):
-            churn_injector = ChurnInjector(
-                simulator,
-                system.registry,
-                period=config.round_period,
-                down_probability=config.churn_down_probability,
-                up_probability=config.churn_up_probability,
-                protected=publishers,
+    plan = FaultPlan.from_flat(config)
+    fault_controller: Optional[FaultController] = None
+    if not plan.is_empty():
+        # Fail fast, before any simulated time passes: an invalid or
+        # unsatisfiable plan (unknown nodes, bad probabilities, a system
+        # without a process registry) must not quietly measure a calmer run
+        # than the config's name claims.  The node universe is the built
+        # system's *registry*, not just the client nodes, so plans may
+        # target infra participants too (brokers, rendezvous nodes — "kill
+        # the rendezvous node of the most popular topic at t=20").
+        registry = getattr(system, "registry", None)
+        if plan.needs_registry() and registry is None:
+            raise FaultPlanError(
+                f"config {config.name!r} requests node faults "
+                "(churn/crash/recover/leave) but system "
+                f"{config.system!r} exposes no process registry; pick a "
+                "registry-backed system or drop the node-fault entries"
             )
-            churn_injector.start()
-        else:
-            # Dropping requested churn silently would quietly measure a
-            # no-churn run under a churn label; make the skip loud instead.
-            warnings.warn(
-                f"config {config.name!r} requests node churn "
-                f"(churn_down_probability={config.churn_down_probability}) but "
-                f"system {config.system!r} exposes no process registry; "
-                "running WITHOUT node churn",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        universe = (
+            registry.ids()
+            if registry is not None and len(registry)
+            else config.node_ids()
+        )
+        plan.validate(node_ids=universe, total_time=config.total_time)
+        fault_controller = FaultController(
+            simulator, network, registry, plan, telemetry=telemetry
+        )
+        fault_controller.start()
 
     subscription_churn: Optional[SubscriptionChurnWorkload] = None
     if config.subscription_churn_rate > 0:
@@ -264,14 +269,17 @@ def run_experiment(
         scheduler.start()
 
     simulator.run(until=config.total_time)
-    if churn_injector is not None:
-        churn_injector.stop()
 
+    # Final snapshot before stopping the fault controller: a run that ends
+    # mid-partition (or with an open-ended perturbation) must report the
+    # fault as active, and stop() clears live network faults and gauges.
     if scheduler is not None:
         final_snapshot = scheduler.stop(final=True)
     else:
         collect()
         final_snapshot = telemetry.snapshot(at=simulator.now)
+    if fault_controller is not None:
+        fault_controller.stop()
 
     fairness = summarise_fairness(system.ledger, policy=policy, system_name=config.name)
     reliability = measure_reliability(

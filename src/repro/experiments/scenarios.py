@@ -272,6 +272,45 @@ register_scenario(
     "Stress run: fair gossip under 5% loss plus node churn (robustness check)",
 )
 register_scenario(
+    "smoke-churn",
+    ExperimentConfig(
+        name="smoke-churn",
+        nodes=24,
+        topics=6,
+        interest_model="zipf",
+        max_topics_per_node=4,
+        publication_rate=2.0,
+        duration=6.0,
+        drain_time=5.0,
+        fanout=3,
+        gossip_size=8,
+        seed=7,
+        churn_down_probability=0.05,
+        churn_up_probability=0.5,
+    ),
+    "Smoke run under continuous node churn (fault-injection fast path)",
+)
+register_scenario(
+    "smoke-partition",
+    ExperimentConfig(
+        name="smoke-partition",
+        nodes=24,
+        topics=6,
+        interest_model="zipf",
+        max_topics_per_node=4,
+        publication_rate=2.0,
+        duration=6.0,
+        drain_time=6.0,
+        fanout=3,
+        gossip_size=8,
+        seed=7,
+        fault_partition_at=2.0,
+        fault_partition_heal_after=3.0,
+        fault_partition_fraction=0.5,
+    ),
+    "Smoke run with a transient half/half partition healing mid-run",
+)
+register_scenario(
     "subscription-churn",
     ExperimentConfig(
         name="sub-churn",

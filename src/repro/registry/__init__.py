@@ -31,6 +31,10 @@ from .builtins import (
 from .specs import (
     FLAT_TO_PATH,
     PATH_TO_FLAT,
+    FaultChurnSpec,
+    FaultPartitionSpec,
+    FaultPerturbSpec,
+    FaultsSpec,
     InterestSpec,
     MembershipSpec,
     PolicySpec,
@@ -69,6 +73,10 @@ __all__ = [
     "InterestSpec",
     "WorkloadSpec",
     "PolicySpec",
+    "FaultChurnSpec",
+    "FaultPartitionSpec",
+    "FaultPerturbSpec",
+    "FaultsSpec",
     "TelemetrySpec",
     "FLAT_TO_PATH",
     "PATH_TO_FLAT",

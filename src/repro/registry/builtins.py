@@ -426,8 +426,6 @@ WORKLOADS.register(
         Param("publisher_fraction", 0.25, "fraction of nodes that publish"),
         Param("event_size", 1, "abstract size units per event"),
         Param("subscription_churn_rate", 0.0, "subscribe/unsubscribe ops per time unit"),
-        Param("churn_down_probability", 0.0, "per-round node crash probability"),
-        Param("churn_up_probability", 0.5, "per-round node recovery probability"),
     ),
 )
 WORKLOADS.register(

@@ -31,6 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..faults.plan import (
+    FaultPlanError,
+    FaultSpec as _PlanFaultSpec,
+    jsonify as _plan_jsonify,
+    tuplify as _plan_tuplify,
+)
 from .base import RegistryError, suggest
 
 __all__ = [
@@ -40,6 +46,10 @@ __all__ = [
     "WorkloadSpec",
     "PolicySpec",
     "TelemetrySpec",
+    "FaultChurnSpec",
+    "FaultPartitionSpec",
+    "FaultPerturbSpec",
+    "FaultsSpec",
     "StackSpec",
     "FLAT_TO_PATH",
     "PATH_TO_FLAT",
@@ -94,7 +104,7 @@ class InterestSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Topic universe, publication traffic, and churn injection."""
+    """Topic universe, publication traffic, and subscription churn."""
 
     topics: int = 16
     topic_exponent: float = 1.0
@@ -102,8 +112,6 @@ class WorkloadSpec:
     publisher_fraction: float = 0.25
     event_size: int = 1
     subscription_churn_rate: float = 0.0
-    churn_down_probability: float = 0.0
-    churn_up_probability: float = 0.5
 
 
 @dataclass(frozen=True)
@@ -111,6 +119,162 @@ class PolicySpec:
     """Which fairness policy weights measurement (and the adaptive levers)."""
 
     kind: str = "expressive"
+
+
+@dataclass(frozen=True)
+class FaultChurnSpec:
+    """Continuous node churn (the paper's §3.2 instability).
+
+    ``period`` of 0 means "one gossip round" (``system.round_period``);
+    ``start``/``stop`` bound the churn window, with 0 meaning run start /
+    run end.  Publishers are protected automatically, as the legacy
+    ``ChurnInjector`` wiring always did.
+    """
+
+    down_probability: float = 0.0
+    up_probability: float = 0.5
+    period: float = 0.0
+    start: float = 0.0
+    stop: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPartitionSpec:
+    """One transient network partition; ``heal_after`` of 0 disables it."""
+
+    at: float = 0.0
+    heal_after: float = 0.0
+    fraction: float = 0.5
+
+
+@dataclass(frozen=True)
+class FaultPerturbSpec:
+    """Link-level degradation window: additive latency and extra loss."""
+
+    start: float = 0.0
+    stop: float = 0.0
+    extra_latency: float = 0.0
+    loss_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultsSpec:
+    """Declarative fault injection: the spec-side face of ``repro.faults``.
+
+    The three fixed sub-specs cover the common shapes (churn, one
+    partition, one perturbation window) with sweepable dotted paths
+    (``faults.churn.down_probability`` ...); ``plan`` carries arbitrary
+    additional :class:`~repro.faults.plan.FaultSpec` entries — crash/
+    recover/leave schedules, extra partitions — encoded as tuples of
+    ``(field, value)`` pairs (the same encoding the flat config's
+    ``fault_plan`` field and ``--fault plan.json`` use).
+
+    Faults are *physics*, not observability: unlike :class:`TelemetrySpec`
+    every field here maps onto a flat :class:`ExperimentConfig` field and
+    therefore feeds the result-cache identity.
+    """
+
+    churn: "FaultChurnSpec" = field(default_factory=FaultChurnSpec)
+    partition: "FaultPartitionSpec" = field(default_factory=FaultPartitionSpec)
+    perturb: "FaultPerturbSpec" = field(default_factory=FaultPerturbSpec)
+    plan: Tuple[Tuple[Tuple[str, object], ...], ...] = ()
+
+    _SUBSPECS = (
+        ("churn", FaultChurnSpec),
+        ("partition", FaultPartitionSpec),
+        ("perturb", FaultPerturbSpec),
+    )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested JSON form; sub-specs at their defaults are omitted."""
+        payload: Dict[str, object] = {}
+        for name, spec_class in self._SUBSPECS:
+            sub = getattr(self, name)
+            if sub != spec_class():
+                payload[name] = {
+                    spec_field.name: getattr(sub, spec_field.name)
+                    for spec_field in fields(sub)
+                }
+        if self.plan:
+            payload["plan"] = [
+                [[key, _plan_jsonify(value)] for key, value in entry]
+                for entry in self.plan
+            ]
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "FaultsSpec":
+        """Rebuild the section; unknown fields raise :class:`RegistryError`."""
+        if not isinstance(payload, Mapping):
+            raise RegistryError(
+                f"StackSpec section 'faults' must be a mapping, got {type(payload).__name__}"
+            )
+        known = [name for name, _ in FaultsSpec._SUBSPECS] + ["plan"]
+        unknown = [key for key in payload if key not in known]
+        if unknown:
+            raise RegistryError(
+                f"unknown faults spec fields {sorted(unknown)}"
+                f"{suggest(unknown[0], known)}; known fields: {', '.join(sorted(known))}"
+            )
+        values: Dict[str, object] = {}
+        for name, spec_class in FaultsSpec._SUBSPECS:
+            entry = payload.get(name)
+            if entry is None:
+                continue
+            if not isinstance(entry, Mapping):
+                raise RegistryError(
+                    f"faults spec section {name!r} must be a mapping, got {type(entry).__name__}"
+                )
+            valid = {spec_field.name for spec_field in fields(spec_class)}
+            bad = [key for key in entry if key not in valid]
+            if bad:
+                raise RegistryError(
+                    f"unknown faults.{name} spec fields {sorted(bad)}"
+                    f"{suggest(bad[0], valid)}; known fields: {', '.join(sorted(valid))}"
+                )
+            coerced: Dict[str, float] = {}
+            for key, value in entry.items():
+                # Every fault sub-spec field is a plain number; a bool here
+                # is a misplaced flag, not a 0/1 probability.
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise RegistryError(
+                        f"faults.{name} spec field {key!r} must be a number, got {value!r}"
+                    )
+                coerced[key] = float(value)
+            values[name] = spec_class(**coerced)
+        if "plan" in payload:
+            # Route every entry through the FaultSpec codec so unknown
+            # fields fail here (not at run time) and the encoding is
+            # canonical — the same logical plan must always embed, and
+            # therefore cache-hash, identically.  Entries come either as
+            # pair lists (our own to_dict output) or as plain mappings
+            # (the shape --fault plan.json files use).
+            try:
+                values["plan"] = tuple(
+                    FaultsSpec._parse_plan_entry(entry).to_pairs()
+                    for entry in payload["plan"]
+                )
+            except FaultPlanError as error:
+                raise RegistryError(f"invalid faults.plan entry: {error}")
+        return FaultsSpec(**values)
+
+    @staticmethod
+    def _parse_plan_entry(entry) -> "_PlanFaultSpec":
+        if isinstance(entry, Mapping):
+            return _PlanFaultSpec.from_dict(entry)
+        if not isinstance(entry, (list, tuple)) or not all(
+            isinstance(pair, (list, tuple)) and len(pair) == 2 for pair in entry
+        ):
+            raise RegistryError(
+                "faults.plan entries must be mappings (like a --fault plan "
+                "file) or lists of [field, value] pairs, got "
+                f"{entry!r}"
+            )
+        return _PlanFaultSpec.from_pairs(
+            tuple((key, _plan_tuplify(value)) for key, value in entry)
+        )
+
+
 
 
 @dataclass(frozen=True)
@@ -178,9 +342,20 @@ FLAT_TO_PATH: Dict[str, str] = {
     "publisher_fraction": "workload.publisher_fraction",
     "event_size": "workload.event_size",
     "subscription_churn_rate": "workload.subscription_churn_rate",
-    "churn_down_probability": "workload.churn_down_probability",
-    "churn_up_probability": "workload.churn_up_probability",
     "fairness_policy": "policy.kind",
+    "churn_down_probability": "faults.churn.down_probability",
+    "churn_up_probability": "faults.churn.up_probability",
+    "fault_churn_period": "faults.churn.period",
+    "fault_churn_start": "faults.churn.start",
+    "fault_churn_stop": "faults.churn.stop",
+    "fault_partition_at": "faults.partition.at",
+    "fault_partition_heal_after": "faults.partition.heal_after",
+    "fault_partition_fraction": "faults.partition.fraction",
+    "fault_perturb_start": "faults.perturb.start",
+    "fault_perturb_stop": "faults.perturb.stop",
+    "fault_perturb_latency": "faults.perturb.extra_latency",
+    "fault_perturb_loss": "faults.perturb.loss_rate",
+    "fault_plan": "faults.plan",
 }
 
 #: Dotted spec path → flat config field (inverse of :data:`FLAT_TO_PATH`).
@@ -193,6 +368,21 @@ _SECTIONS: Tuple[Tuple[str, type], ...] = (
     ("workload", WorkloadSpec),
     ("policy", PolicySpec),
 )
+
+
+def _get_path(obj, parts: List[str]):
+    """Walk ``parts`` through nested spec attributes."""
+    for part in parts:
+        obj = getattr(obj, part)
+    return obj
+
+
+def _replace_path(obj, parts: List[str], value):
+    """Copy ``obj`` with the nested attribute at ``parts`` replaced."""
+    if len(parts) == 1:
+        return replace(obj, **{parts[0]: value})
+    child = _replace_path(getattr(obj, parts[0]), parts[1:], value)
+    return replace(obj, **{parts[0]: child})
 
 
 def spec_paths() -> List[str]:
@@ -255,6 +445,11 @@ def parse_spec_overrides(pairs) -> Dict[str, object]:
         path = resolve_spec_path(key.strip())
         if path == "extra":
             raise RegistryError("config field 'extra' is structured and cannot be set from the CLI")
+        if path == "faults.plan":
+            raise RegistryError(
+                "config field 'faults.plan' is structured and cannot be set from "
+                "the CLI; pass a plan file via --fault instead"
+            )
         overrides[path] = parse_scalar(raw.strip())
     return overrides
 
@@ -281,6 +476,9 @@ class StackSpec:
     interest: InterestSpec = field(default_factory=InterestSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     policy: PolicySpec = field(default_factory=PolicySpec)
+    #: Fault injection; part of the flat-config bijection (faults are
+    #: physics and feed the result-cache identity, see :class:`FaultsSpec`).
+    faults: FaultsSpec = field(default_factory=FaultsSpec)
     #: Observability wiring; excluded from the flat-config bijection and
     #: therefore from the result-cache identity (see :class:`TelemetrySpec`).
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
@@ -290,18 +488,33 @@ class StackSpec:
 
     @staticmethod
     def from_config(config) -> "StackSpec":
-        """Decompose a flat :class:`ExperimentConfig` into nested specs."""
+        """Decompose a flat :class:`ExperimentConfig` into nested specs.
+
+        One grouped pass constructing each (sub-)spec exactly once — this
+        runs on every ``config.spec()`` call, so it avoids the per-field
+        frozen-dataclass churn a ``with_value`` loop would cost.
+        """
         values: Dict[str, object] = {}
-        sections: Dict[str, Dict[str, object]] = {name: {} for name, _ in _SECTIONS}
+        nested: Dict[str, Dict[str, object]] = {}
         for flat, path in FLAT_TO_PATH.items():
             value = getattr(config, flat)
-            if "." in path:
-                section, attr = path.split(".", 1)
-                sections[section][attr] = value
-            else:
+            parts = path.split(".")
+            if len(parts) == 1:
                 values[path] = value
+            else:
+                node = nested.setdefault(parts[0], {})
+                for part in parts[1:-1]:
+                    node = node.setdefault(part, {})
+                node[parts[-1]] = value
         for section, spec_class in _SECTIONS:
-            values[section] = spec_class(**sections[section])
+            values[section] = spec_class(**nested.pop(section, {}))
+        faults_data = nested.pop("faults", {})
+        fault_values: Dict[str, object] = {
+            name: spec_class(**faults_data.pop(name, {}))
+            for name, spec_class in FaultsSpec._SUBSPECS
+        }
+        fault_values.update(faults_data)  # the free-form "plan" entries
+        values["faults"] = FaultsSpec(**fault_values)
         return StackSpec(**values)
 
     def to_config(self):
@@ -330,6 +543,11 @@ class StackSpec:
             payload[section] = {
                 spec_field.name: getattr(spec, spec_field.name) for spec_field in fields(spec)
             }
+        # Faults are omitted at their default so dicts of fault-free specs
+        # are byte-identical to the pre-fault format (and old nested dicts
+        # keep loading).
+        if self.faults != FaultsSpec():
+            payload["faults"] = self.faults.to_dict()
         # Telemetry is observability-only; omit it at its default so dicts of
         # telemetry-free specs are byte-identical to the pre-telemetry format.
         if self.telemetry != TelemetrySpec():
@@ -354,6 +572,7 @@ class StackSpec:
 
             return StackSpec.from_config(ExperimentConfig.from_dict(payload))
 
+        payload = StackSpec._remap_workload_churn(payload)
         section_names = {name for name, _ in _SECTIONS}
         top_level = {
             "name",
@@ -363,6 +582,7 @@ class StackSpec:
             "drain_time",
             "loss_rate",
             "extra",
+            "faults",
             "telemetry",
         }
         unknown = [key for key in payload if key not in section_names | top_level]
@@ -375,10 +595,12 @@ class StackSpec:
         values: Dict[str, object] = {
             key: payload[key]
             for key in top_level
-            if key in payload and key not in ("extra", "telemetry")
+            if key in payload and key not in ("extra", "faults", "telemetry")
         }
         if "extra" in payload:
             values["extra"] = tuple((key, value) for key, value in payload["extra"])
+        if "faults" in payload:
+            values["faults"] = FaultsSpec.from_dict(payload["faults"])
         if "telemetry" in payload:
             entry = payload["telemetry"]
             if not isinstance(entry, Mapping):
@@ -431,6 +653,41 @@ class StackSpec:
         return StackSpec(**values)
 
     @staticmethod
+    def _remap_workload_churn(payload: Mapping[str, object]) -> Mapping[str, object]:
+        """Accept pre-fault nested dicts that carried churn under workload.
+
+        Before the fault layer existed, ``churn_down_probability`` /
+        ``churn_up_probability`` lived in the workload section; they now
+        live at ``faults.churn.*``.  Persisted nested encodings of that era
+        must keep loading, so the legacy keys are lifted into the faults
+        section here (an explicit ``faults.churn`` value wins over the
+        legacy spelling).
+        """
+        workload = payload.get("workload")
+        if not isinstance(workload, Mapping) or not (
+            "churn_down_probability" in workload or "churn_up_probability" in workload
+        ):
+            return payload
+        faults = payload.get("faults")
+        if faults is not None and not isinstance(faults, Mapping):
+            return payload  # malformed faults section: let validation report it
+        payload = dict(payload)
+        workload = dict(workload)
+        faults = dict(faults) if faults is not None else {}
+        churn_entry = faults.get("churn")
+        churn = dict(churn_entry) if isinstance(churn_entry, Mapping) else {}
+        for legacy, attr in (
+            ("churn_down_probability", "down_probability"),
+            ("churn_up_probability", "up_probability"),
+        ):
+            if legacy in workload:
+                churn.setdefault(attr, workload.pop(legacy))
+        faults["churn"] = churn
+        payload["workload"] = workload
+        payload["faults"] = faults
+        return payload
+
+    @staticmethod
     def _is_legacy(payload: Mapping[str, object]) -> bool:
         """Whether a dict uses the flat ``ExperimentConfig`` encoding."""
         if isinstance(payload.get("system"), str) or isinstance(payload.get("membership"), str):
@@ -445,12 +702,8 @@ class StackSpec:
     # --------------------------------------------------------- dotted access
 
     def get(self, path: str):
-        """Value at a dotted path (``"system.fanout"``, ``"nodes"``)."""
-        path = resolve_spec_path(path)
-        if "." not in path:
-            return getattr(self, path)
-        section, attr = path.split(".", 1)
-        return getattr(getattr(self, section), attr)
+        """Value at a dotted path of any depth (``"faults.churn.start"``)."""
+        return _get_path(self, resolve_spec_path(path).split("."))
 
     def with_value(self, path: str, value) -> "StackSpec":
         """Copy with one dotted path replaced (types gently coerced).
@@ -462,11 +715,7 @@ class StackSpec:
         current = self.get(path)
         if isinstance(current, float) and isinstance(value, int) and not isinstance(value, bool):
             value = float(value)
-        if "." not in path:
-            return replace(self, **{path: value})
-        section, attr = path.split(".", 1)
-        updated = replace(getattr(self, section), **{attr: value})
-        return replace(self, **{section: updated})
+        return _replace_path(self, path.split("."), value)
 
     def with_values(self, overrides: Mapping[str, object]) -> "StackSpec":
         """Copy with several dotted-path overrides applied."""
@@ -508,7 +757,13 @@ class StackSpec:
 
     def describe(self) -> str:
         """Readable ``section.field = value`` listing of the resolved spec."""
-        lines = [f"{path} = {self.get(path)!r}" for path in spec_paths() if path != "extra"]
+        structured = ("extra", "faults.plan")
+        lines = [
+            f"{path} = {self.get(path)!r}" for path in spec_paths() if path not in structured
+        ]
+        if self.faults.plan:
+            lines.append(f"faults.plan = {len(self.faults.plan)} entr"
+                         f"{'y' if len(self.faults.plan) == 1 else 'ies'}")
         if self.extra:
             lines.append(f"extra = {dict(self.extra)!r}")
         return "\n".join(lines)

@@ -32,6 +32,7 @@ import os
 from typing import Dict, NamedTuple, Optional
 
 from ..analysis.reliability import measure_reliability
+from ..faults import FaultPlan, FaultPlanError
 from ..membership.cyclon import cyclon_provider
 from ..membership.lpbcast import lpbcast_provider
 from ..registry import StackSpec, build_interest_model, build_popularity
@@ -135,6 +136,19 @@ def parse_telemetry_sinks(args: argparse.Namespace, spec_has_sinks: bool = False
     return sinks
 
 
+def _load_fault_plan(path: str) -> FaultPlan:
+    """Load and pre-validate a ``--fault`` plan as a clean CLI error.
+
+    The node universe isn't known yet (spec-built hosts create their nodes
+    on start), so only universe-independent validation happens here; the
+    host re-validates against the real node ids when it starts.
+    """
+    try:
+        return FaultPlan.from_file(path).validate()
+    except FaultPlanError as error:
+        raise SystemExit(str(error))
+
+
 def _build_transport(args: argparse.Namespace) -> Transport:
     if args.transport == "memory":
         return MemoryTransport()
@@ -162,6 +176,13 @@ def _resolve_spec(args: argparse.Namespace) -> StackSpec:
         spec = spec.with_values(parse_spec_overrides(args.set or []))
     except RegistryError as error:
         raise SystemExit(str(error))
+    if getattr(args, "fault", None):
+        # Plan-file entries compose with (rather than replace) whatever the
+        # scenario's faults section already declares.
+        plan = _load_fault_plan(args.fault)
+        spec = spec.with_value(
+            "faults.plan", spec.get("faults.plan") + plan.entry_pairs()
+        )
     if spec.system.kind in _GOSSIP_KINDS:
         # Live clusters push far more events per time unit than the default
         # simulator scenarios; give gossip nodes the live buffer tuning.
@@ -223,12 +244,16 @@ def _build_classic(args: argparse.Namespace) -> LiveCluster:
         lpbcast_provider() if args.membership == "lpbcast" else cyclon_provider()
     )
     sinks = parse_telemetry_sinks(args)
+    fault_plan = (
+        _load_fault_plan(args.fault) if getattr(args, "fault", None) else None
+    )
     host = NodeHost(
         transport,
         seed=args.seed,
         time_scale=args.time_scale,
         snapshot_sinks=sinks,
         snapshot_period=getattr(args, "telemetry_period", None),
+        fault_plan=fault_plan,
         membership_provider=provider,
         node_kwargs={
             "fanout": args.fanout,
@@ -304,7 +329,13 @@ def _write_artifact(path: str, artifact: Dict[str, object]) -> None:
 async def _run_live(args: argparse.Namespace, live_report: bool) -> Dict[str, object]:
     cluster = build_live_cluster(args)
     host, generator = cluster.host, cluster.generator
-    await host.start()
+    try:
+        await host.start()
+    except FaultPlanError as error:
+        # An unsatisfiable fault plan (e.g. unknown node ids against the
+        # built cluster) is a usage error, not a crash; the host already
+        # tore itself down.
+        raise SystemExit(str(error))
     if cluster.apply_interest_after_start:
         cluster.interest.apply(host)
     reporter: Optional[asyncio.Task] = None
@@ -490,6 +521,14 @@ def _add_common_runtime_options(parser: argparse.ArgumentParser) -> None:
         "--bind-port", type=int, default=0, help="socket transports: bind port (0 = ephemeral)"
     )
     parser.add_argument("--json", default=None, metavar="PATH", help="write the run artifact")
+    parser.add_argument(
+        "--fault",
+        default=None,
+        metavar="PLAN.json",
+        help="drive the cluster with a declarative fault plan (crash/churn/"
+        "partition/perturb entries; the same file runs on the simulator via "
+        "'run --fault')",
+    )
     parser.add_argument(
         "--telemetry",
         action="append",

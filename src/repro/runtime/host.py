@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Type
 from ..core.accounting import WorkLedger
 from ..core.policy import EXPRESSIVE_POLICY, FairnessPolicy
 from ..analysis.fairness_report import SystemFairnessSummary, summarise_fairness
+from ..faults import FaultController, FaultPlan, FaultPlanError
 from ..gossip.push import PushGossipNode
 from ..membership.base import MembershipProvider
 from ..membership.cyclon import cyclon_provider
@@ -85,6 +86,7 @@ class NodeHost(DisseminationSystem):
         snapshot_sinks: Optional[Sequence[TelemetrySink]] = None,
         snapshot_period: Optional[float] = None,
         spec: Optional[StackSpec] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.clock = WallClock(time_scale=time_scale)
         self.scheduler = AsyncScheduler(self.clock, RngRegistry(seed))
@@ -129,6 +131,11 @@ class NodeHost(DisseminationSystem):
         self.system: Optional[DisseminationSystem] = None
         if spec is not None:
             self.name = f"live-{spec.system.kind}"
+        #: Fault injection: an explicit plan wins; otherwise the spec's
+        #: faults section is compiled on :meth:`start` (after the nodes
+        #: exist, so the plan can be validated against the real universe).
+        self._fault_plan = fault_plan
+        self.fault_controller: Optional[FaultController] = None
         self._started = False
 
     # --------------------------------------------------------------- wiring
@@ -229,6 +236,43 @@ class NodeHost(DisseminationSystem):
             )
             self.snapshot_scheduler.start()
         self._started = True
+        try:
+            self._start_faults()
+        except FaultPlanError:
+            # The transport, node timers, and snapshot scheduler are
+            # already live; tear everything down so an unsatisfiable plan
+            # leaves no half-started cluster behind.
+            await self.stop()
+            raise
+
+    def _start_faults(self) -> None:
+        """Validate and start the fault plan against the live cluster.
+
+        The same :class:`~repro.faults.plan.FaultPlan` that drives the
+        simulator drives this host: the controller crashes/recovers member
+        nodes through the shared process registry, and partitions/perturbs
+        links through :class:`~repro.runtime.network.RuntimeNetwork`.
+        """
+        plan = self._fault_plan
+        if plan is None and self._spec is not None:
+            plan = FaultPlan.from_flat(self._spec.to_config())
+        if plan is None or plan.is_empty():
+            return
+        if plan.needs_registry() and len(self.registry) == 0:
+            raise FaultPlanError(
+                f"fault plan requests node faults but host {self.name!r} has "
+                "no registered member processes"
+            )
+        node_ids = self.registry.ids() if len(self.registry) else None
+        plan.validate(node_ids=node_ids)
+        self.fault_controller = FaultController(
+            self.scheduler,
+            self.network,
+            self.registry,
+            plan,
+            telemetry=self.telemetry,
+        )
+        self.fault_controller.start()
 
     def _build_from_spec(self, spec: StackSpec) -> None:
         """Build the system named by ``spec.system.kind`` and adopt it."""
@@ -270,15 +314,35 @@ class NodeHost(DisseminationSystem):
         if not self._started:
             return
         self._started = False
+        # Final snapshot first, controller second: a run that ends while a
+        # partition/perturbation is still active must report it that way
+        # (the controller's stop() clears live network faults and zeroes
+        # their gauges).
         if self.snapshot_scheduler is not None:
             self.snapshot_scheduler.stop(final=True)
             self.snapshot_scheduler = None
+        if self.fault_controller is not None:
+            self.fault_controller.stop()
+            self.fault_controller = None
         self.scheduler.shutdown()
         await self.transport.stop()
 
     async def run_for(self, seconds: float) -> None:
         """Let the cluster run for ``seconds`` of real time."""
         await asyncio.sleep(seconds)
+
+    def stop_node(self, node_id: str) -> None:
+        """Fault actuator: fail-stop one hosted member node.
+
+        Timers stop and the node stops receiving frames; protocol state is
+        preserved for :meth:`restart_node` (exactly the simulator's
+        crash/recover semantics — the nodes are the same classes).
+        """
+        self.registry.get(node_id).crash()
+
+    def restart_node(self, node_id: str) -> None:
+        """Fault actuator: bring a stopped member node back up."""
+        self.registry.get(node_id).recover()
 
     # ----------------------------------------------------------- operations
 

@@ -9,6 +9,15 @@ encodes the message with the wire codec and hands the frame to a
 transport and the kernel provide; loss is whatever the wire loses — the
 simulator's latency/loss *models* have no live counterpart by design.
 
+The fault layer, however, needs live actuators: :meth:`set_partition`
+installs the same group map the simulator's network uses (frames across
+groups are dropped, on the send side and for frames arriving from remote
+peers), and :meth:`set_perturbation` adds artificial per-frame latency
+(scheduled on the runtime's own scheduler) and Bernoulli loss drawn from a
+named fault RNG stream.  Both default to off and cost nothing while off,
+which is what lets one :class:`~repro.faults.plan.FaultPlan` run unmodified
+on either substrate.
+
 Control frames (kinds starting with ``runtime.``) are routed to the host's
 control handler instead of a node, which is how remote publish and
 subscription exchanges enter a live cluster.
@@ -18,7 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
 
-from ..sim.network import Message, NetworkStats
+from ..sim.network import FaultInjectionSurface, Message, NetworkStats
 from .scheduler import AsyncScheduler
 from .transport import Transport
 from .wire import WireError, decode_message, encode_message
@@ -29,7 +38,7 @@ __all__ = ["RuntimeNetwork", "CONTROL_PREFIX"]
 CONTROL_PREFIX = "runtime."
 
 
-class RuntimeNetwork:
+class RuntimeNetwork(FaultInjectionSurface):
     """Connects live processes through a transport.
 
     Parameters
@@ -48,6 +57,7 @@ class RuntimeNetwork:
         self._alive: Set[str] = set()
         self.stats = NetworkStats()
         self.decode_errors = 0
+        self._init_fault_state()
         self._delivery_hooks: list = []
         #: Installed by the host; receives decoded ``runtime.*`` messages.
         self.control_handler: Optional[Callable[[Message], None]] = None
@@ -101,6 +111,10 @@ class RuntimeNetwork:
         """Register a callback invoked as ``hook(message, delivered_at)``."""
         self._delivery_hooks.append(hook)
 
+    # Partition and perturbation actuators are inherited from
+    # FaultInjectionSurface — the same implementation the simulator's
+    # Network uses, so one FaultPlan means the same physics in both worlds.
+
     # --------------------------------------------------------------- sending
 
     def send(
@@ -121,8 +135,23 @@ class RuntimeNetwork:
             sent_at=self._scheduler.now,
         )
         self.stats.record_sent(message)
+        if not message.kind.startswith(CONTROL_PREFIX):
+            if not self._same_partition(sender, recipient):
+                self.stats.dropped_partition += 1
+                return message
+            if self._perturb_loss > 0.0 and self._perturb_rng.random() < self._perturb_loss:
+                self.stats.lost += 1
+                return message
         body = encode_message(message)
-        if not self._transport.send(recipient, body):
+        if self._perturb_latency > 0.0 and not message.kind.startswith(CONTROL_PREFIX):
+            def deliver_later(recipient=recipient, body=body) -> None:
+                if not self._transport.send(recipient, body):
+                    self.stats.dropped_dead += 1
+
+            self._scheduler.schedule(
+                self._perturb_latency, deliver_later, label="fault:extra-latency"
+            )
+        elif not self._transport.send(recipient, body):
             self.stats.dropped_dead += 1
         return message
 
@@ -149,6 +178,12 @@ class RuntimeNetwork:
         if message.kind.startswith(CONTROL_PREFIX):
             if self.control_handler is not None:
                 self.control_handler(message)
+            return
+        # Frames from remote peers are filtered here too: in a multi-host
+        # cluster only the host running the fault controller knows about the
+        # partition, so the receive side must enforce it as well.
+        if not self._same_partition(message.sender, message.recipient):
+            self.stats.dropped_partition += 1
             return
         handler = self._handlers.get(message.recipient)
         if handler is None or message.recipient not in self._alive:

@@ -29,9 +29,82 @@ __all__ = [
     "LossModel",
     "NoLoss",
     "BernoulliLoss",
+    "FaultInjectionSurface",
     "Network",
     "NetworkStats",
 ]
+
+
+class FaultInjectionSurface:
+    """Partition and perturbation state shared by both network fabrics.
+
+    The fault layer's contract is that one
+    :class:`~repro.faults.plan.FaultPlan` means the same physics on either
+    substrate, so the actuator surface — partition maps, link-level
+    latency/loss perturbation, and their validation — lives here once and
+    is inherited by :class:`Network` (discrete-event) and
+    :class:`~repro.runtime.network.RuntimeNetwork` (live).  Subclasses call
+    :meth:`_init_fault_state` in ``__init__`` and consult
+    ``_same_partition`` / ``_perturb_*`` on their send/deliver paths.
+    """
+
+    def _init_fault_state(self) -> None:
+        self._partitions: Dict[str, int] = {}
+        self._perturb_latency = 0.0
+        self._perturb_loss = 0.0
+        self._perturb_rng: Optional[random.Random] = None
+
+    # ----------------------------------------------------------- partitions
+
+    def set_partition(self, assignment: Dict[str, int]) -> None:
+        """Install a partition map; nodes in different groups cannot talk.
+
+        Nodes absent from the map are treated as belonging to group 0.
+        """
+        self._partitions = dict(assignment)
+
+    def clear_partition(self) -> None:
+        """Heal all partitions."""
+        self._partitions = {}
+
+    def _same_partition(self, a: str, b: str) -> bool:
+        if not self._partitions:
+            return True
+        return self._partitions.get(a, 0) == self._partitions.get(b, 0)
+
+    # --------------------------------------------------------- perturbation
+
+    def set_perturbation(
+        self,
+        extra_latency: float = 0.0,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Degrade every link: add latency and/or extra Bernoulli loss.
+
+        Used by the fault layer to model congested or flaky periods.  Loss
+        draws come from the caller-supplied ``rng`` (a named fault stream),
+        never from the streams protocol code uses, so installing a
+        perturbation leaves every pre-existing draw sequence untouched —
+        and an inactive perturbation draws nothing at all.  Latency is in
+        time units in both worlds (the live scheduler's wall clock maps
+        them onto real seconds).
+        """
+        if extra_latency < 0:
+            raise ValueError("extra_latency must be non-negative")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be within [0, 1]")
+        if loss_rate > 0 and rng is None:
+            raise ValueError("loss perturbation requires an rng stream")
+        self._perturb_latency = float(extra_latency)
+        self._perturb_loss = float(loss_rate)
+        self._perturb_rng = rng
+
+    def clear_perturbation(self) -> None:
+        """Restore the unperturbed link behaviour."""
+        self._perturb_latency = 0.0
+        self._perturb_loss = 0.0
+        self._perturb_rng = None
 
 
 @dataclass
@@ -157,7 +230,7 @@ class NetworkStats:
         self.sent_by_kind[message.kind] = self.sent_by_kind.get(message.kind, 0) + 1
 
 
-class Network:
+class Network(FaultInjectionSurface):
     """Connects registered processes through the simulator's event queue.
 
     Parameters
@@ -179,9 +252,9 @@ class Network:
         self._loss = loss_model or NoLoss()
         self._handlers: Dict[str, Callable[[Message], None]] = {}
         self._alive: Set[str] = set()
-        self._partitions: Dict[str, int] = {}
         self.stats = NetworkStats()
         self._delivery_hooks: list[Callable[[Message, float], None]] = []
+        self._init_fault_state()
 
     # --------------------------------------------------------------- wiring
 
@@ -226,24 +299,6 @@ class Network:
         """Register a callback invoked as ``hook(message, delivered_at)``."""
         self._delivery_hooks.append(hook)
 
-    # ----------------------------------------------------------- partitions
-
-    def set_partition(self, assignment: Dict[str, int]) -> None:
-        """Install a partition map; nodes in different groups cannot talk.
-
-        Nodes absent from the map are treated as belonging to group 0.
-        """
-        self._partitions = dict(assignment)
-
-    def clear_partition(self) -> None:
-        """Heal all partitions."""
-        self._partitions = {}
-
-    def _same_partition(self, a: str, b: str) -> bool:
-        if not self._partitions:
-            return True
-        return self._partitions.get(a, 0) == self._partitions.get(b, 0)
-
     # --------------------------------------------------------------- sending
 
     def send(
@@ -279,8 +334,11 @@ class Network:
         if self._loss.is_lost(rng, message):
             self.stats.lost += 1
             return message
+        if self._perturb_loss > 0.0 and self._perturb_rng.random() < self._perturb_loss:
+            self.stats.lost += 1
+            return message
 
-        latency = self._latency.sample(rng, sender, recipient)
+        latency = self._latency.sample(rng, sender, recipient) + self._perturb_latency
         self._simulator.schedule(
             latency, lambda: self._deliver(message), label=f"deliver:{kind}"
         )

@@ -136,6 +136,53 @@ def _series_columns(snapshots: Sequence[TelemetrySnapshot]) -> Tuple[List[str], 
     return counters, gauges
 
 
+def _fault_timeline(snapshots: Sequence[TelemetrySnapshot]):
+    """Fault-event table over the snapshot stream, or ``None`` without faults.
+
+    The fault layer emits ``fault.events`` / ``fault.skipped`` counters
+    tagged by ``action`` plus the ``fault.partition_active`` /
+    ``fault.perturb_active`` / ``fault.nodes_down`` gauges; this renders
+    them as one row per snapshot so the failure pattern reads next to the
+    fairness tables.
+    """
+    from ..analysis.tables import Table
+
+    final = snapshots[-1]
+    actions = sorted(
+        dict(tags).get("action", "?")
+        for name, tags, _ in final.counters
+        if name == "fault.events"
+    )
+    fault_gauges = [
+        name
+        for name in ("fault.nodes_down", "fault.partition_active", "fault.perturb_active")
+        if any(gauge_name == name for gauge_name, _, _ in final.gauges)
+    ]
+    skipped = any(name == "fault.skipped" for name, _, _ in final.counters)
+    if not actions and not fault_gauges and not skipped:
+        return None
+    columns = ["sequence", "at"] + actions + (["skipped"] if skipped else []) + fault_gauges
+    table = Table(columns, title="fault timeline (cumulative events per snapshot)")
+    for snapshot in snapshots:
+        events = {
+            dict(tags).get("action", "?"): value
+            for name, tags, value in snapshot.counters
+            if name == "fault.events"
+        }
+        gauges = {name: value for name, tags, value in snapshot.gauges if not tags}
+        row: Dict[str, object] = {"sequence": snapshot.sequence, "at": snapshot.at}
+        for action in actions:
+            row[action] = events.get(action, 0.0)
+        if skipped:
+            row["skipped"] = sum(
+                value for name, _, value in snapshot.counters if name == "fault.skipped"
+            )
+        for name in fault_gauges:
+            row[name] = gauges.get(name, 0.0)
+        table.add_row(**row)
+    return table
+
+
 def render_snapshots(snapshots: Sequence[TelemetrySnapshot], max_rows: int = 10) -> str:
     """Time-series + final-state tables for a snapshot stream."""
     from ..analysis.fairness_report import fairness_table_from_snapshot
@@ -161,6 +208,10 @@ def render_snapshots(snapshots: Sequence[TelemetrySnapshot], max_rows: int = 10)
             row[name] = gauge_values.get(name, 0.0)
         series.add_row(**row)
     sections = [series.render()]
+
+    faults = _fault_timeline(snapshots)
+    if faults is not None:
+        sections.append(faults.render())
 
     final = snapshots[-1]
     if final.histograms:

@@ -1,7 +1,7 @@
 """Subscription churn workloads (§5.1).
 
-Node churn (processes crashing and recovering) is injected by
-:class:`~repro.sim.failure.ChurnInjector`; this module covers the *other*
+Node churn (processes crashing and recovering) is injected by the fault
+layer (:mod:`repro.faults`); this module covers the *other*
 churn the paper worries about: the continuous stream of subscribe and
 unsubscribe operations whose maintenance cost must be shared fairly.
 :class:`SubscriptionChurnWorkload` keeps a configurable number of

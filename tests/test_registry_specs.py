@@ -245,8 +245,12 @@ class _NoRegistryGossip(GossipSystem):
         del self.registry
 
 
-class TestChurnSkipWarns:
-    def test_requested_churn_without_registry_warns(self):
+class TestFaultPlanValidation:
+    """An unsatisfiable fault plan fails fast instead of warning."""
+
+    def test_requested_churn_without_registry_fails_fast(self):
+        from repro.faults import FaultPlanError
+
         SYSTEMS.register(
             "no-registry-gossip",
             lambda ctx: _NoRegistryGossip(
@@ -262,12 +266,12 @@ class TestChurnSkipWarns:
                 duration=2.0,
                 drain_time=1.0,
             )
-            with pytest.warns(RuntimeWarning, match="no process registry"):
+            with pytest.raises(FaultPlanError, match="no process registry"):
                 run_experiment(config)
         finally:
             SYSTEMS.unregister("no-registry-gossip")
 
-    def test_churn_with_registry_does_not_warn(self, recwarn):
+    def test_churn_with_registry_runs_cleanly(self, recwarn):
         config = _smoke_config().with_overrides(
             name="churny-ok", churn_down_probability=0.05, duration=2.0, drain_time=1.0
         )
