@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-rt bench-metrics bench-faults serve-smoke serve-scenario-smoke registry-smoke report-smoke fault-smoke clean-cache
+.PHONY: test bench bench-smoke bench-rt bench-metrics bench-faults bench-lazy serve-smoke serve-scenario-smoke registry-smoke report-smoke fault-smoke lazy-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -64,6 +64,20 @@ fault-smoke:
 # FaultController must stay <5% on the smoke scenario, physics untouched).
 bench-faults:
 	$(PYTHON) -m pytest benchmarks/bench_fault_overhead.py -q -s
+
+# Two-phase lazy broadcast round trip: the lossy smoke scenario on the
+# simulator (recovery table in the report), then the same loss plan driving
+# a simulated run and a short live cluster speaking the lazy wire kinds.
+lazy-smoke:
+	$(PYTHON) -m repro run smoke-lazy --no-cache --telemetry jsonl:out/lazy_metrics.jsonl
+	$(PYTHON) -m repro report out/lazy_metrics.jsonl
+	$(PYTHON) -m repro run smoke-lazy --no-cache --fault examples/loss_plan.json
+	$(PYTHON) -m repro serve --scenario smoke-lazy --fault examples/loss_plan.json --transport memory --duration 3 --rate 200 --drain 1
+
+# Lazy-push vs plain push under FaultPlan loss/partition: writes
+# BENCH_lazy_recovery.json (reliability per byte; lazy must win under loss).
+bench-lazy:
+	$(PYTHON) -m pytest benchmarks/bench_lazy_recovery.py -q -s
 
 # BENCH_metrics_overhead.json is tracked (it seeds the perf trajectory), so
 # clean-cache leaves it alone; re-run `make bench-metrics` to refresh it.

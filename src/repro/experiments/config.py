@@ -48,6 +48,10 @@ class ExperimentConfig:
         ``drain_time`` more units so in-flight events settle.
     fanout / gossip_size / round_period:
         Gossip parameters (Figure 4's ``F``, ``N``, and the round length).
+    alpha:
+        Store fraction of the lazy-push system (the ALPHA of Algorithm
+        3.10): the share of nodes that retain event payloads for pull
+        recovery.  Ignored by every other system.
     membership:
         ``"cyclon"``, ``"full"``, or ``"lpbcast"`` (gossip systems only).
     loss_rate:
@@ -98,6 +102,7 @@ class ExperimentConfig:
     fanout: int = 3
     gossip_size: int = 8
     round_period: float = 1.0
+    alpha: float = 0.5
     membership: str = "cyclon"
     loss_rate: float = 0.0
     churn_down_probability: float = 0.0
@@ -154,7 +159,10 @@ class ExperimentConfig:
                 if not value:
                     continue
                 value = _deep_jsonify(value)
-            elif config_field.name.startswith("fault_"):
+            elif config_field.name.startswith("fault_") or config_field.name == "alpha":
+                # ``alpha`` (lazy-push store fraction) follows the fault_*
+                # rule: omitted at its default so configs that never touch
+                # it keep their historical cache keys.
                 if value == config_field.default:
                     continue
             payload[config_field.name] = value

@@ -311,6 +311,26 @@ register_scenario(
     "Smoke run with a transient half/half partition healing mid-run",
 )
 register_scenario(
+    "smoke-lazy",
+    ExperimentConfig(
+        name="smoke-lazy",
+        system="lazy-push",
+        nodes=24,
+        topics=6,
+        interest_model="zipf",
+        max_topics_per_node=4,
+        publication_rate=2.0,
+        duration=6.0,
+        drain_time=8.0,
+        fanout=3,
+        gossip_size=8,
+        seed=7,
+        loss_rate=0.15,
+    ),
+    "Smoke run of two-phase lazy-push under 15% loss (pull recovery fast path); "
+    "the longer drain covers the slow digest cadence's convergence",
+)
+register_scenario(
     "subscription-churn",
     ExperimentConfig(
         name="sub-churn",

@@ -1,6 +1,15 @@
 """Gossip-based event dissemination (Figure 4 of the paper and variants)."""
 
 from .buffers import BufferedEvent, EventBuffer, SELECTION_STRATEGIES
+from .lazy import (
+    LAZY_DIGEST_KIND,
+    LAZY_PUSH_KIND,
+    LAZY_REPLY_KIND,
+    LAZY_REQUEST_KIND,
+    LazyPushGossipNode,
+    eager_push_rounds,
+    lazy_store_ids,
+)
 from .push import GOSSIP_MESSAGE_KIND, GossipMessage, PushGossipNode
 from .pushpull import DigestMessage, PullRequest, PushPullGossipNode
 from .system import GossipSystem
@@ -15,5 +24,12 @@ __all__ = [
     "PushPullGossipNode",
     "DigestMessage",
     "PullRequest",
+    "LazyPushGossipNode",
+    "lazy_store_ids",
+    "eager_push_rounds",
+    "LAZY_PUSH_KIND",
+    "LAZY_DIGEST_KIND",
+    "LAZY_REQUEST_KIND",
+    "LAZY_REPLY_KIND",
     "GossipSystem",
 ]

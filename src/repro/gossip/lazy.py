@@ -1,0 +1,401 @@
+"""Two-phase lazy probabilistic broadcast with pull-based recovery.
+
+The eager push protocol of Figure 4 keeps re-sending full events for their
+whole buffer lifetime, so most of the payload traffic is redundant once a
+message has infected a good share of the system.  The *lazy* variant (the
+``LazyProbabilisticBroadcast`` lineage, Algorithm 3.10) splits dissemination
+into two phases:
+
+1. **Eager phase** — a freshly seen event is pushed with its full payload,
+   but only for the few rounds an infection estimator says are needed to
+   reach roughly half the system (``eager_push_rounds``: the push doubling
+   time for the configured fanout, plus one round of slack).
+2. **Recovery phase** — after that, only event *ids* circulate, in periodic
+   digest messages.  A node that spots unknown ids in a digest issues a pull
+   ``REQUEST`` and a node holding the payload answers with a ``REPLY``.
+
+Only an **ALPHA fraction** of the nodes retain event payloads past the eager
+phase (the *store set*, chosen deterministically by hashing node ids so both
+engines and every run of a seed agree without coordination); everyone else
+drops the payload when the eager budget is spent and keeps just the id.
+Recovery requests are therefore directed at store nodes.  Per-node payload
+memory is bounded by the store capacity, and aged ids are garbage-collected
+after ``id_gc_rounds`` so neither the digests nor the stores grow with the
+run length.
+
+The node runs unmodified on the discrete-event simulator and on the live
+runtime (it only uses the duck-typed ``simulator``/``network`` surface), and
+its four message kinds have wire codecs so live clusters speak it over real
+transports.  When a shared telemetry store is attached it records the
+recovery counters (``lazy.pulls_issued`` / ``lazy.pulls_served`` /
+``lazy.recoveries`` / ``lazy.events_saved``) and the phase gauges
+(``lazy.hot_events`` for the eager phase, ``lazy.store_events`` /
+``lazy.store_bytes`` for the store set) that ``repro report`` renders as the
+recovery table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from ..membership.lpbcast import LpbcastMembership
+from ..pubsub.events import Event
+from ..sim.network import Message
+from .push import GossipMessage, PushGossipNode
+from .pushpull import DigestMessage, PullRequest
+
+__all__ = [
+    "LazyPushGossipNode",
+    "lazy_store_ids",
+    "eager_push_rounds",
+    "LAZY_PUSH_KIND",
+    "LAZY_DIGEST_KIND",
+    "LAZY_REQUEST_KIND",
+    "LAZY_REPLY_KIND",
+]
+
+LAZY_PUSH_KIND = "gossip.lazy-push"
+LAZY_DIGEST_KIND = "gossip.lazy-digest"
+LAZY_REQUEST_KIND = "gossip.lazy-request"
+LAZY_REPLY_KIND = "gossip.lazy-reply"
+
+
+def lazy_store_ids(node_ids: Iterable[str], alpha: float) -> FrozenSet[str]:
+    """The deterministic ALPHA-fraction store set for a node population.
+
+    Nodes are ranked by the sha256 of their id and the first
+    ``ceil(alpha * N)`` (at least one) are stores.  Hash ranking keeps the
+    choice independent of the ``node-000..`` naming order — the publisher
+    subset is a name prefix, and the store set must not correlate with it —
+    while staying identical across engines, seeds, and processes.
+    """
+    if not 0.0 < float(alpha) <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+    ids = sorted(set(node_ids))
+    if not ids:
+        return frozenset()
+    count = max(1, math.ceil(float(alpha) * len(ids)))
+    ranked = sorted(ids, key=lambda node_id: hashlib.sha256(node_id.encode("utf-8")).hexdigest())
+    return frozenset(ranked[:count])
+
+
+def eager_push_rounds(population: int, fanout: int, target_fraction: float = 0.5) -> int:
+    """Eager-phase budget: rounds until ~``target_fraction`` is infected.
+
+    Push gossip infects roughly ``fanout``-fold more nodes per round, so the
+    half-infection point is the base-``fanout`` log of half the population;
+    one extra round of slack absorbs duplicate deliveries and message loss.
+    """
+    population = max(2, int(population))
+    base = max(2, int(fanout))
+    target = max(2.0, population * float(target_fraction))
+    return max(1, math.ceil(math.log(target) / math.log(base))) + 1
+
+
+class LazyPushGossipNode(PushGossipNode):
+    """One participant of the two-phase lazy probabilistic broadcast.
+
+    Extra parameters on top of :class:`PushGossipNode`:
+
+    alpha:
+        Store fraction in ``(0, 1]``.  Only used to derive defaults when
+        ``store_ids`` is not supplied; the system factory normally passes
+        the precomputed store set.
+    store_ids:
+        The deterministic store set (see :func:`lazy_store_ids`).  When
+        ``None`` (standalone construction in unit tests) the node treats
+        itself as a store so it can always serve its own pulls.
+    population:
+        Total node count, feeding the infection estimator.  Defaults to a
+        small population when unknown.
+    id_gc_rounds:
+        Rounds an event id stays advertisable (and its payload stays in the
+        store) before garbage collection; defaults to the buffer's
+        ``max_rounds``.
+    """
+
+    def __init__(
+        self,
+        *args,
+        alpha: float = 0.5,
+        store_ids: Optional[Iterable[str]] = None,
+        population: Optional[int] = None,
+        id_gc_rounds: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0.0 < float(alpha) <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+        self.alpha = float(alpha)
+        self.store_ids: FrozenSet[str] = (
+            frozenset(store_ids) if store_ids is not None else frozenset((self.node_id,))
+        )
+        self.is_store = self.node_id in self.store_ids
+        self.population = max(2, int(population)) if population else max(2, len(self.store_ids))
+        self.eager_rounds = eager_push_rounds(self.population, max(1, self.fanout))
+        self.id_gc_rounds = (
+            int(id_gc_rounds) if id_gc_rounds else self.buffer.max_rounds
+        )
+        self.store_capacity = self.buffer.capacity
+        #: Event payloads retained past the eager phase (store nodes only).
+        self.store: "OrderedDict[str, Event]" = OrderedDict()
+        #: id → rounds since first seen (insertion order = oldest first).
+        self._id_age: "OrderedDict[str, int]" = OrderedDict()
+        #: id → remaining eager-push rounds.
+        self._hot_budget: Dict[str, int] = {}
+        #: Ids per digest message (caps digest size on long runs).
+        self.digest_cap = max(8, 4 * self.gossip_size)
+        #: Digests go out every this many rounds — the recovery phase is
+        #: deliberately slower than the eager phase, that is the bandwidth win.
+        #: Phases are staggered per node (hash of the id) so some digests
+        #: circulate every round even though each node only pays every other.
+        self.digest_period = 2
+        self._digest_phase = (
+            int(hashlib.sha256(self.node_id.encode("utf-8")).hexdigest(), 16)
+            % self.digest_period
+        )
+        #: Ids older than this stop being advertised; the default (the GC
+        #: horizon itself) keeps every live id recoverable — a gap only
+        #: becomes permanent once the id is garbage-collected everywhere.
+        self.advert_rounds = self.id_gc_rounds
+        #: id → rounds left before re-requesting it (duplicate-pull damping).
+        self._pending_pull: Dict[str, int] = {}
+        self.pull_retry_rounds = 1
+        self.pulls_issued = 0
+        self.pulls_served = 0
+        self.recoveries = 0
+        self.events_saved = 0
+        if self.telemetry is not None:
+            telemetry = self.telemetry
+            self._pulls_issued_counter = telemetry.counter("lazy.pulls_issued", node=self.node_id)
+            self._pulls_served_counter = telemetry.counter("lazy.pulls_served", node=self.node_id)
+            self._recoveries_counter = telemetry.counter("lazy.recoveries", node=self.node_id)
+            self._saved_counter = telemetry.counter("lazy.events_saved", node=self.node_id)
+            self._hot_gauge = telemetry.gauge("lazy.hot_events", node=self.node_id)
+            self._store_gauge = telemetry.gauge("lazy.store_events", node=self.node_id)
+            self._store_bytes_gauge = telemetry.gauge("lazy.store_bytes", node=self.node_id)
+        else:
+            self._pulls_issued_counter = None
+            self._pulls_served_counter = None
+            self._recoveries_counter = None
+            self._saved_counter = None
+            self._hot_gauge = None
+            self._store_gauge = None
+            self._store_bytes_gauge = None
+
+    # ----------------------------------------------------------- the round
+
+    def execute_gossip_round(self) -> None:
+        fanout = self.current_fanout()
+        if fanout <= 0:
+            return
+        rng = self.simulator.rng.stream(f"gossip:{self.node_id}")
+        neighbors = self.select_participants(fanout, rng)
+        if not neighbors:
+            return
+        self._push_hot_events(neighbors)
+        if (self.rounds_executed + self._digest_phase) % self.digest_period == 0:
+            self._gossip_digest(neighbors)
+
+    def _push_hot_events(self, neighbors: Sequence[str]) -> None:
+        """Phase 1: full-payload push of events still inside their budget."""
+        hot_ids = [
+            event_id for event_id in self._id_age if self._hot_budget.get(event_id, 0) > 0
+        ]
+        # Newest first (ids are appended on first sight) up to the gossip size.
+        hot_ids = hot_ids[-self.current_gossip_size():]
+        events = [
+            event
+            for event in (self._event_payload(event_id) for event_id in hot_ids)
+            if event is not None
+        ]
+        if not events:
+            return
+        digest = None
+        if isinstance(self.membership, LpbcastMembership):
+            digest = self.membership.digest_for_gossip()
+        message = GossipMessage(
+            events=tuple(events),
+            sender_benefit_rate=self.benefit_rate(),
+            membership_digest=digest,
+        )
+        self.buffer.mark_forwarded([event.event_id for event in events])
+        for neighbor in neighbors:
+            self.send(neighbor, LAZY_PUSH_KIND, payload=message, size=message.size)
+        self.ledger.record_gossip_send(
+            self.node_id,
+            messages=len(neighbors),
+            events=len(events) * len(neighbors),
+            size=message.size * len(neighbors),
+        )
+        if self._messages_counter is not None:
+            self._messages_counter.increment(len(neighbors))
+            self._payload_histogram.observe(len(events))
+
+    def _gossip_digest(self, neighbors: Sequence[str]) -> None:
+        """Phase 2: advertise recently seen ids so receivers can pull gaps."""
+        ids = [
+            event_id
+            for event_id, age in self._id_age.items()
+            if age <= self.advert_rounds
+        ][-self.digest_cap:]
+        if not ids:
+            return
+        payload = DigestMessage(
+            event_ids=tuple(ids), sender_benefit_rate=self.benefit_rate()
+        )
+        size = max(1, len(ids) // 4)
+        for neighbor in neighbors:
+            self.send(neighbor, LAZY_DIGEST_KIND, payload=payload, size=size)
+        self.ledger.record_gossip_send(
+            self.node_id, messages=len(neighbors), events=0, size=size * len(neighbors)
+        )
+
+    def after_round(self) -> None:
+        """Age ids, retire spent eager budgets, and garbage-collect."""
+        expired: List[str] = []
+        for event_id in self._id_age:
+            self._id_age[event_id] += 1
+            if self._id_age[event_id] > self.id_gc_rounds:
+                expired.append(event_id)
+        for event_id in list(self._hot_budget):
+            self._hot_budget[event_id] -= 1
+            if self._hot_budget[event_id] <= 0:
+                del self._hot_budget[event_id]
+                if not self.is_store:
+                    # The eager phase is over: non-store nodes drop the
+                    # payload and keep only the id for digests.
+                    self.buffer.remove(event_id)
+        for event_id in list(self._pending_pull):
+            self._pending_pull[event_id] -= 1
+            if self._pending_pull[event_id] <= 0:
+                del self._pending_pull[event_id]
+        for event_id in expired:
+            del self._id_age[event_id]
+            self._hot_budget.pop(event_id, None)
+            self.store.pop(event_id, None)
+            self.buffer.remove(event_id)
+        if self._store_gauge is not None:
+            self._hot_gauge.set(len(self._hot_budget))
+            self._store_gauge.set(len(self.store))
+            self._store_bytes_gauge.set(
+                float(sum(event.size for event in self.store.values()))
+            )
+
+    # ------------------------------------------------------------ receiving
+
+    def on_message(self, message: Message) -> None:
+        if self.membership.handle(message):
+            return
+        if message.kind == LAZY_PUSH_KIND:
+            self._handle_gossip(message)
+        elif message.kind == LAZY_DIGEST_KIND:
+            self._handle_lazy_digest(message)
+        elif message.kind == LAZY_REQUEST_KIND:
+            self._handle_pull_request(message)
+        elif message.kind == LAZY_REPLY_KIND:
+            self._handle_pull_reply(message)
+
+    def _handle_lazy_digest(self, message: Message) -> None:
+        payload: DigestMessage = message.payload
+        self.observe_peer_benefit(message.sender, payload.sender_benefit_rate)
+        unseen = [
+            event_id
+            for event_id in payload.event_ids
+            if event_id not in self.seen_event_ids
+        ]
+        already_known = len(payload.event_ids) - len(unseen)
+        if already_known:
+            # Each known id advertised instead of re-pushed is payload the
+            # eager protocol would have resent; the report's "bytes saved"
+            # column reads this counter.
+            self.events_saved += already_known
+            if self._saved_counter is not None:
+                self._saved_counter.increment(already_known)
+        missing = tuple(
+            event_id for event_id in unseen if event_id not in self._pending_pull
+        )
+        if not missing:
+            return
+        target = self._recovery_target(message.sender)
+        if target is None:
+            return
+        for event_id in missing:
+            self._pending_pull[event_id] = self.pull_retry_rounds
+        self.pulls_issued += 1
+        if self._pulls_issued_counter is not None:
+            self._pulls_issued_counter.increment()
+        self.send(
+            target,
+            LAZY_REQUEST_KIND,
+            payload=PullRequest(event_ids=missing),
+            size=max(1, len(missing) // 4),
+        )
+
+    def _recovery_target(self, sender: str) -> Optional[str]:
+        """Who to pull from: the digest sender if it stores, else a store node."""
+        if sender in self.store_ids:
+            return sender
+        candidates = sorted(self.store_ids - {self.node_id})
+        if not candidates:
+            return sender if sender != self.node_id else None
+        rng = self.simulator.rng.stream(f"gossip:{self.node_id}")
+        return rng.choice(candidates)
+
+    def _handle_pull_request(self, message: Message) -> None:
+        payload: PullRequest = message.payload
+        events = [
+            event
+            for event in (self._event_payload(event_id) for event_id in payload.event_ids)
+            if event is not None
+        ]
+        if not events:
+            return
+        reply = GossipMessage(events=tuple(events), sender_benefit_rate=self.benefit_rate())
+        self.pulls_served += 1
+        if self._pulls_served_counter is not None:
+            self._pulls_served_counter.increment()
+        self.send(message.sender, LAZY_REPLY_KIND, payload=reply, size=reply.size)
+        self.ledger.record_gossip_send(
+            self.node_id, messages=1, events=len(events), size=reply.size
+        )
+
+    def _handle_pull_reply(self, message: Message) -> None:
+        payload: GossipMessage = message.payload
+        self.observe_peer_benefit(message.sender, payload.sender_benefit_rate)
+        recovered = 0
+        for event in payload.events:
+            if self._absorb_event(event, from_peer=message.sender):
+                recovered += 1
+        if recovered:
+            self.recoveries += recovered
+            if self._recoveries_counter is not None:
+                self._recoveries_counter.increment(recovered)
+
+    # ----------------------------------------------------------- event state
+
+    def _absorb_event(self, event: Event, from_peer: Optional[str] = None) -> bool:
+        if event.event_id in self.seen_event_ids:
+            return False
+        super()._absorb_event(event, from_peer=from_peer)
+        self._pending_pull.pop(event.event_id, None)
+        self._id_age[event.event_id] = 0
+        self._hot_budget[event.event_id] = self.eager_rounds
+        if self.is_store:
+            self._store_put(event)
+        return True
+
+    def _store_put(self, event: Event) -> None:
+        self.store[event.event_id] = event
+        while len(self.store) > self.store_capacity:
+            self.store.popitem(last=False)
+
+    def _event_payload(self, event_id: str) -> Optional[Event]:
+        """The full event if this node still holds it (buffer, then store)."""
+        event = self.buffer.get(event_id)
+        if event is not None:
+            return event
+        return self.store.get(event_id)

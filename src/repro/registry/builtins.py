@@ -46,7 +46,7 @@ from ..core import (
 )
 from ..damulticast import DataAwareMulticastSystem
 from ..dht import DksSystem, ScribeSystem, SplitStreamSystem
-from ..gossip import GossipSystem, PushPullGossipNode
+from ..gossip import GossipSystem, LazyPushGossipNode, PushPullGossipNode, lazy_store_ids
 from ..membership import cyclon_provider, full_membership_provider, lpbcast_provider
 from ..pubsub.topics import TopicHierarchy
 from ..workloads import (
@@ -58,7 +58,7 @@ from ..workloads import (
     UniformInterest,
     ZipfInterest,
 )
-from .base import Param, Registry
+from .base import Param, Registry, RegistryError, suggest
 from .specs import StackSpec
 
 __all__ = [
@@ -75,6 +75,7 @@ __all__ = [
     "workload_kind",
     "resolve_policy_kind",
     "all_registries",
+    "DIGEST_MEMBERSHIP_KINDS",
 ]
 
 SYSTEMS = Registry("system")
@@ -228,6 +229,43 @@ def _build_pushpull_gossip(ctx: BuildContext) -> GossipSystem:
     )
 
 
+#: Membership kinds whose views keep pace with digest-driven recovery.
+#: Lazy-push routes pulls at arbitrary store nodes, so it needs a provider
+#: that can resolve (or gossip toward) the whole population — every built-in
+#: qualifies today, but external registrations must opt in by name here.
+DIGEST_MEMBERSHIP_KINDS = frozenset({"cyclon", "full", "lpbcast"})
+
+
+def _build_lazy_push(ctx: BuildContext) -> GossipSystem:
+    spec = ctx.spec
+    alpha = spec.system.alpha
+    if isinstance(alpha, bool) or not isinstance(alpha, (int, float)) or not 0.0 < alpha <= 1.0:
+        raise RegistryError(
+            f"system.alpha must be a store fraction in (0, 1], got {alpha!r} "
+            "(0.5 stores payloads on half the nodes)"
+        )
+    membership_kind = spec.membership.kind
+    if membership_kind not in DIGEST_MEMBERSHIP_KINDS:
+        raise RegistryError(
+            f"system.kind 'lazy-push' needs a digest-capable membership "
+            f"provider, got {membership_kind!r}"
+            f"{suggest(membership_kind, DIGEST_MEMBERSHIP_KINDS)}; "
+            f"digest-capable kinds: {', '.join(sorted(DIGEST_MEMBERSHIP_KINDS))}"
+        )
+    node_kwargs = _gossip_node_kwargs(ctx)
+    node_kwargs["alpha"] = float(alpha)
+    node_kwargs["store_ids"] = lazy_store_ids(ctx.node_ids, float(alpha))
+    node_kwargs["population"] = len(ctx.node_ids)
+    return GossipSystem(
+        ctx.scheduler,
+        ctx.network,
+        list(ctx.node_ids),
+        membership_provider=ctx.membership_provider(),
+        node_class=LazyPushGossipNode,
+        node_kwargs=node_kwargs,
+    )
+
+
 def _build_scribe(ctx: BuildContext) -> ScribeSystem:
     return ScribeSystem(ctx.scheduler, ctx.network, list(ctx.node_ids))
 
@@ -297,6 +335,13 @@ SYSTEMS.register(
     _build_pushpull_gossip,
     description="Digest/pull gossip variant trading latency for bandwidth",
     params=_GOSSIP_PARAMS,
+)
+SYSTEMS.register(
+    "lazy-push",
+    _build_lazy_push,
+    description="Two-phase lazy probabilistic broadcast: eager push, then digest-driven pull recovery from an ALPHA-fraction store set",
+    params=_GOSSIP_PARAMS
+    + (Param("alpha", 0.5, "fraction of nodes storing payloads for recovery"),),
 )
 SYSTEMS.register(
     "scribe",

@@ -74,6 +74,7 @@ class SystemSpec:
     fanout: int = 3
     gossip_size: int = 8
     round_period: float = 1.0
+    alpha: float = 0.5
     broker_count: int = 2
     stripes: int = 4
     delegates_per_root: int = 2
@@ -322,6 +323,7 @@ FLAT_TO_PATH: Dict[str, str] = {
     "fanout": "system.fanout",
     "gossip_size": "system.gossip_size",
     "round_period": "system.round_period",
+    "alpha": "system.alpha",
     "broker_count": "system.broker_count",
     "stripes": "system.stripes",
     "delegates_per_root": "system.delegates_per_root",

@@ -99,7 +99,7 @@ _FLAG_TO_PATH = {
     "membership": "membership.kind",
 }
 
-_GOSSIP_KINDS = ("gossip", "fair-gossip", "pushpull-gossip")
+_GOSSIP_KINDS = ("gossip", "fair-gossip", "pushpull-gossip", "lazy-push")
 
 
 class LiveCluster(NamedTuple):

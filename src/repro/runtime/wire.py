@@ -149,6 +149,12 @@ _CODECS: Dict[str, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {
     "gossip.pull-reply": (_encode_gossip, _decode_gossip),
     "gossip.digest": (_encode_digest_message, _decode_digest_message),
     "gossip.pull-request": (_encode_pull_request, _decode_pull_request),
+    # Lazy probabilistic broadcast reuses the push/digest/pull payload
+    # shapes under its own kinds (see repro.gossip.lazy).
+    "gossip.lazy-push": (_encode_gossip, _decode_gossip),
+    "gossip.lazy-reply": (_encode_gossip, _decode_gossip),
+    "gossip.lazy-digest": (_encode_digest_message, _decode_digest_message),
+    "gossip.lazy-request": (_encode_pull_request, _decode_pull_request),
     "membership.cyclon.request": (_encode_shuffle, _decode_shuffle),
     "membership.cyclon.reply": (_encode_shuffle, _decode_shuffle),
     "membership.lpbcast.digest": (_encode_membership_digest, _decode_membership_digest),

@@ -183,6 +183,55 @@ def _fault_timeline(snapshots: Sequence[TelemetrySnapshot]):
     return table
 
 
+_RECOVERY_COUNTERS = (
+    "lazy.pulls_issued",
+    "lazy.pulls_served",
+    "lazy.recoveries",
+    "lazy.events_saved",
+)
+_RECOVERY_GAUGES = ("lazy.hot_events", "lazy.store_events", "lazy.store_bytes")
+
+
+def _recovery_table(snapshots: Sequence[TelemetrySnapshot]):
+    """Recovery table for lazy-push telemetry, or ``None`` without any.
+
+    The lazy-push nodes emit node-tagged ``lazy.*`` counters (pulls issued/
+    served, recovered events, events a digest saved from an eager re-send)
+    and phase gauges (hot/store occupancy); this sums them across nodes, one
+    row per snapshot, so the pull-recovery behaviour reads as a timeline.
+    ``events_saved`` counts known ids seen in digests — payload the eager
+    protocol would have re-pushed, i.e. the bytes the lazy phase saved.
+    """
+    from ..analysis.tables import Table
+
+    final = snapshots[-1]
+    present = {name for name, _, _ in final.counters} | {
+        name for name, _, _ in final.gauges
+    }
+    counters = [name for name in _RECOVERY_COUNTERS if name in present]
+    gauges = [name for name in _RECOVERY_GAUGES if name in present]
+    if not counters and not gauges:
+        return None
+    def short(name: str) -> str:
+        return name.split(".", 1)[1]
+    table = Table(
+        ["sequence", "at"] + [short(name) for name in counters + gauges],
+        title="lazy recovery (cumulative pulls, nodes summed per snapshot)",
+    )
+    for snapshot in snapshots:
+        row: Dict[str, object] = {"sequence": snapshot.sequence, "at": snapshot.at}
+        for name in counters:
+            row[short(name)] = sum(
+                value for counter, _, value in snapshot.counters if counter == name
+            )
+        for name in gauges:
+            row[short(name)] = sum(
+                value for gauge, _, value in snapshot.gauges if gauge == name
+            )
+        table.add_row(**row)
+    return table
+
+
 def render_snapshots(snapshots: Sequence[TelemetrySnapshot], max_rows: int = 10) -> str:
     """Time-series + final-state tables for a snapshot stream."""
     from ..analysis.fairness_report import fairness_table_from_snapshot
@@ -212,6 +261,10 @@ def render_snapshots(snapshots: Sequence[TelemetrySnapshot], max_rows: int = 10)
     faults = _fault_timeline(snapshots)
     if faults is not None:
         sections.append(faults.render())
+
+    recovery = _recovery_table(snapshots)
+    if recovery is not None:
+        sections.append(recovery.render())
 
     final = snapshots[-1]
     if final.histograms:

@@ -242,3 +242,95 @@ class TestPastryProperties:
         right = space.hash_name(right_name)
         assert space.shared_prefix_length(left, right) == space.shared_prefix_length(right, left)
         assert space.distance(left, right) == space.distance(right, left)
+
+
+class TestLazyBroadcastProperties:
+    """Hypothesis sweeps over the lazy-push parameter space (fanout/ALPHA/loss).
+
+    The delivery-ratio-vs-push comparison lives in ``test_lazy_broadcast``
+    on pinned seeds; these sweeps check the *structural* invariants that
+    must hold for every parameter combination: store-set size and
+    determinism, the infection estimator's bounds, and — on tiny end-to-end
+    simulations — store occupancy, at-most-once delivery, and recovery
+    counter consistency.
+    """
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    def test_store_set_size_and_determinism(self, node_count, alpha):
+        from math import ceil
+
+        from repro.gossip import lazy_store_ids
+
+        node_ids = [f"node-{index:03d}" for index in range(node_count)]
+        selected = lazy_store_ids(node_ids, alpha)
+        assert selected == lazy_store_ids(reversed(node_ids), alpha)
+        assert selected <= frozenset(node_ids)
+        assert len(selected) == max(1, ceil(alpha * node_count))
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(min_value=2, max_value=5000),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_eager_budget_is_bounded_and_monotone_in_fanout(self, population, fanout):
+        from math import ceil, log
+
+        from repro.gossip import eager_push_rounds
+
+        rounds = eager_push_rounds(population, fanout)
+        # Never fewer than two rounds, never more than the fanout-2 doubling
+        # time of the whole population (the loosest sensible upper bound).
+        assert 2 <= rounds <= ceil(log(max(2, population)) / log(2)) + 2
+        assert eager_push_rounds(population, fanout + 1) <= rounds
+
+    @settings(deadline=None, max_examples=8)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from([0.125, 0.25, 0.5, 1.0]),
+        st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    def test_tiny_run_invariants_across_the_parameter_space(
+        self, fanout, alpha, loss, seed
+    ):
+        from math import ceil
+
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        config = ExperimentConfig(
+            name="lazy-prop-sweep",
+            system="lazy-push",
+            nodes=8,
+            topics=3,
+            interest_model="zipf",
+            max_topics_per_node=2,
+            publication_rate=2.0,
+            duration=3.0,
+            drain_time=4.0,
+            fanout=fanout,
+            gossip_size=4,
+            seed=seed,
+            loss_rate=loss,
+            alpha=alpha,
+        )
+        result = run_experiment(config, keep_system=True)
+        assert 0.0 <= result.delivery_ratio <= 1.0
+        nodes = list(result.system.nodes.values())
+        assert sum(node.is_store for node in nodes) == max(1, ceil(alpha * len(nodes)))
+        for node in nodes:
+            assert len(node.store) <= node.store_capacity
+            if not node.is_store:
+                assert not node.store
+            records = node.delivery_log.deliveries_by_node(node.node_id)
+            assert len(records) == len({record.event_id for record in records})
+        # Every served pull answers an issued one, and pulls only exist
+        # where digests circulate.
+        issued = sum(node.pulls_issued for node in nodes)
+        served = sum(node.pulls_served for node in nodes)
+        assert served <= issued
+        if issued == 0:
+            assert sum(node.recoveries for node in nodes) == 0
