@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-rt bench-metrics bench-faults bench-lazy serve-smoke serve-scenario-smoke registry-smoke report-smoke fault-smoke lazy-smoke clean-cache
+.PHONY: test bench bench-smoke bench-rt bench-metrics bench-faults bench-lazy bench-trace serve-smoke serve-scenario-smoke registry-smoke report-smoke fault-smoke lazy-smoke trace-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -78,6 +78,21 @@ lazy-smoke:
 # BENCH_lazy_recovery.json (reliability per byte; lazy must win under loss).
 bench-lazy:
 	$(PYTHON) -m pytest benchmarks/bench_lazy_recovery.py -q -s
+
+# Dissemination-tracing round trip: trace every event of the lossy lazy
+# scenario, render the infection trees and the trace aggregates, then trace
+# a short live cluster to confirm contexts survive the wire.
+trace-smoke:
+	$(PYTHON) -m repro run smoke-lazy --no-cache --trace out/lazy_trace.jsonl
+	$(PYTHON) -m repro trace out/lazy_trace.jsonl
+	$(PYTHON) -m repro report out/lazy_trace.jsonl
+	$(PYTHON) -m repro serve --scenario smoke-lazy --transport memory --duration 3 --rate 200 --drain 1 --trace out/live_trace.jsonl
+	$(PYTHON) -m repro trace out/live_trace.jsonl --max-events 1
+
+# Tracing hot-path overhead: writes BENCH_trace_overhead.json (a rate-0
+# tracer must stay <1% on smoke-lazy, physics byte-identical at every rate).
+bench-trace:
+	$(PYTHON) -m pytest benchmarks/bench_trace_overhead.py -q -s
 
 # BENCH_metrics_overhead.json is tracked (it seeds the perf trajectory), so
 # clean-cache leaves it alone; re-run `make bench-metrics` to refresh it.

@@ -8,6 +8,7 @@ Subcommands
 ``list-scenarios`` show the named-scenario registry
 ``describe``       show a scenario's resolved spec or a component's schema
 ``report``         render fairness/reliability/latency tables from artifacts
+``trace``          reconstruct per-event infection trees from a --trace stream
 ``serve``          run a *live* cluster on a real transport (asyncio runtime)
 ``loadgen``        drive a live cluster at a target events/sec
 
@@ -165,23 +166,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # typo'd sink spec (or a dangling --telemetry-period) fails as a clean
     # CLI error, not a traceback after the simulation ran (shared with
     # serve/loadgen).
-    from ..runtime.cli import parse_telemetry_sinks
+    from ..runtime.cli import parse_telemetry_sinks, parse_tracer
 
     sinks = parse_telemetry_sinks(args)
-    if sinks:
+    tracer = parse_tracer(args)
+    if sinks or tracer is not None:
         # Telemetry sinks hold open files and are not picklable, so a
         # telemetry-enabled run executes in-process and bypasses the cache
-        # (the snapshot stream is the artifact being produced).
-        result = _run_clean(
-            lambda: run_experiment(
-                config,
-                snapshot_sinks=sinks,
-                snapshot_period=args.telemetry_period,
+        # (the snapshot stream is the artifact being produced).  The same
+        # holds for tracing: the trace JSONL is the artifact, and tracing
+        # is not part of the config, so cached results must not satisfy a
+        # traced run.
+        try:
+            result = _run_clean(
+                lambda: run_experiment(
+                    config,
+                    snapshot_sinks=sinks,
+                    snapshot_period=args.telemetry_period,
+                    tracer=tracer,
+                )
             )
-        )
+        finally:
+            if tracer is not None:
+                tracer.close()
         _emit_results(args, None, [result], title=f"run — {config.name}")
-        for sink in args.telemetry:
+        for sink in args.telemetry or ():
             print(f"telemetry sink: {sink}")
+        if tracer is not None:
+            print(
+                f"trace: {tracer.spans_emitted} span(s) "
+                f"at sample rate {tracer.sample_rate} -> {args.trace}"
+            )
         return 0
     executor = _build_executor(args)
     results = _run_clean(lambda: executor.run_many([config]))
@@ -314,6 +329,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Reconstruct infection trees from a ``--trace`` span stream."""
+    from ..telemetry.report import load_report_source
+    from ..tracing import analyze_spans, render_trace
+
+    try:
+        source = load_report_source(args.artifact)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if source.kind != "trace":
+        raise SystemExit(
+            f"artifact {args.artifact!r} contains no trace spans; expected the "
+            "JSON-lines stream written by run/serve/loadgen --trace "
+            f"(this looks like a {source.kind!r} artifact — try `repro report`)"
+        )
+    try:
+        rendered = render_trace(
+            analyze_spans(source.spans),
+            event=args.event,
+            max_events=args.max_events,
+            max_rows=args.max_rows,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(rendered)
+    return 0
+
+
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     table = Table(["name", "system", "nodes", "description"], title="registered scenarios")
     for scenario in iter_scenarios():
@@ -390,6 +433,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="UNITS",
         help="snapshot period in simulated time units (default: 5.0)",
     )
+    run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE.jsonl",
+        help="record causal dissemination spans to a JSON-lines file "
+        "(implies an in-process, cache-bypassing run; render with "
+        "`python -m repro trace TRACE.jsonl`)",
+    )
+    run_parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fraction of published events to trace, decided "
+        "deterministically per event id (default with --trace: 1.0)",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     sweep_parser = subparsers.add_parser("sweep", help="sweep one parameter axis")
@@ -445,6 +504,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-table row cap for per-node breakdowns (default: 10)",
     )
     report_parser.set_defaults(handler=_cmd_report)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="reconstruct per-event infection trees and dissemination "
+        "statistics from a --trace span stream",
+    )
+    trace_parser.add_argument(
+        "artifact",
+        help="path to a trace JSON-lines stream written by run/serve/loadgen --trace",
+    )
+    trace_parser.add_argument(
+        "--event",
+        default=None,
+        metavar="EVENT_ID",
+        help="render the infection tree of one traced event only",
+    )
+    trace_parser.add_argument(
+        "--max-events",
+        type=int,
+        default=3,
+        metavar="N",
+        help="how many infection trees to render (default: 3)",
+    )
+    trace_parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=10,
+        help="row cap for the per-event table (default: 10)",
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     add_runtime_subcommands(subparsers)
 

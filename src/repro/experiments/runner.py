@@ -167,6 +167,7 @@ def run_experiment(
     telemetry: Optional[Telemetry] = None,
     snapshot_sinks: Optional[Sequence] = None,
     snapshot_period: Optional[float] = None,
+    tracer=None,
 ) -> ExperimentResult:
     """Run one experiment described by ``config`` and return its measurements.
 
@@ -179,6 +180,13 @@ def run_experiment(
     units during the run; with or without sinks the result's headline totals
     are read from the run's *final* snapshot, which is attached as
     ``result.final_snapshot``.
+
+    ``tracer`` (a :class:`~repro.tracing.Tracer`) enables causal
+    dissemination tracing on gossip-family systems.  Like telemetry it only
+    *reads* — span emission draws no RNG and schedules nothing — so a traced
+    run's physics are identical to an untraced one.  Tracing is deliberately
+    not part of ``config`` (cache keys are untouched by construction), which
+    is why traced runs bypass the result cache.
     """
     simulator, network = build_simulation(config)
     if telemetry is None:
@@ -187,6 +195,12 @@ def run_experiment(
     system = build_system(
         config, simulator, network, popularity=popularity, telemetry=telemetry
     )
+    if tracer is not None:
+        tracer.attach_clock(lambda: simulator.now)
+        network.tracer = tracer
+        for node in system.client_nodes().values():
+            if hasattr(node, "_trace_state"):
+                node.tracer = tracer
     interest_model = build_interest(config, popularity)
     rng = simulator.rng.stream("experiment-interest")
     interest = interest_model.assign(list(config.node_ids()), rng)

@@ -44,6 +44,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
 from ..membership.lpbcast import LpbcastMembership
 from ..pubsub.events import Event
 from ..sim.network import Message
+from ..tracing.context import TraceContext
+from ..tracing.spans import DIGEST_ADVERT, RELAY
 from .push import GossipMessage, PushGossipNode
 from .pushpull import DigestMessage, PullRequest
 
@@ -223,8 +225,11 @@ class LazyPushGossipNode(PushGossipNode):
             membership_digest=digest,
         )
         self.buffer.mark_forwarded([event.event_id for event in events])
+        trace = self._trace_contexts(events, RELAY, fanout=len(neighbors))
         for neighbor in neighbors:
-            self.send(neighbor, LAZY_PUSH_KIND, payload=message, size=message.size)
+            self.send(
+                neighbor, LAZY_PUSH_KIND, payload=message, size=message.size, trace=trace
+            )
         self.ledger.record_gossip_send(
             self.node_id,
             messages=len(neighbors),
@@ -248,8 +253,13 @@ class LazyPushGossipNode(PushGossipNode):
             event_ids=tuple(ids), sender_benefit_rate=self.benefit_rate()
         )
         size = max(1, len(ids) // 4)
+        trace = None
+        if self.tracer is not None and self._trace_state:
+            trace = self._trace_contexts_for_ids(
+                ids, DIGEST_ADVERT, fanout=len(neighbors)
+            )
         for neighbor in neighbors:
-            self.send(neighbor, LAZY_DIGEST_KIND, payload=payload, size=size)
+            self.send(neighbor, LAZY_DIGEST_KIND, payload=payload, size=size, trace=trace)
         self.ledger.record_gossip_send(
             self.node_id, messages=len(neighbors), events=0, size=size * len(neighbors)
         )
@@ -278,6 +288,10 @@ class LazyPushGossipNode(PushGossipNode):
             self._hot_budget.pop(event_id, None)
             self.store.pop(event_id, None)
             self.buffer.remove(event_id)
+            # A garbage-collected id can no longer be relayed or advertised,
+            # so its trace anchor is dead weight; dropping it bounds the
+            # trace state the same way _id_age bounds the digests.
+            self._trace_state.pop(event_id, None)
         if self._store_gauge is not None:
             self._hot_gauge.set(len(self._hot_budget))
             self._store_gauge.set(len(self.store))
@@ -358,7 +372,11 @@ class LazyPushGossipNode(PushGossipNode):
         self.pulls_served += 1
         if self._pulls_served_counter is not None:
             self._pulls_served_counter.increment()
-        self.send(message.sender, LAZY_REPLY_KIND, payload=reply, size=reply.size)
+        # The reply's spans parent on *this* node's own trace state — the
+        # requester may have learned the id from a third party's digest, but
+        # the payload (and therefore the infection edge) comes from here.
+        trace = self._trace_contexts(events, RELAY, via="pull", peer=message.sender)
+        self.send(message.sender, LAZY_REPLY_KIND, payload=reply, size=reply.size, trace=trace)
         self.ledger.record_gossip_send(
             self.node_id, messages=1, events=len(events), size=reply.size
         )
@@ -366,9 +384,15 @@ class LazyPushGossipNode(PushGossipNode):
     def _handle_pull_reply(self, message: Message) -> None:
         payload: GossipMessage = message.payload
         self.observe_peer_benefit(message.sender, payload.sender_benefit_rate)
+        contexts = self._contexts_by_event(message) if message.trace else None
         recovered = 0
         for event in payload.events:
-            if self._absorb_event(event, from_peer=message.sender):
+            if self._absorb_event(
+                event,
+                from_peer=message.sender,
+                trace_ctx=None if contexts is None else contexts.get(event.event_id),
+                recovered=True,
+            ):
                 recovered += 1
         if recovered:
             self.recoveries += recovered
@@ -377,10 +401,17 @@ class LazyPushGossipNode(PushGossipNode):
 
     # ----------------------------------------------------------- event state
 
-    def _absorb_event(self, event: Event, from_peer: Optional[str] = None) -> bool:
-        if event.event_id in self.seen_event_ids:
+    def _absorb_event(
+        self,
+        event: Event,
+        from_peer: Optional[str] = None,
+        trace_ctx: Optional[TraceContext] = None,
+        recovered: bool = False,
+    ) -> bool:
+        if not super()._absorb_event(
+            event, from_peer=from_peer, trace_ctx=trace_ctx, recovered=recovered
+        ):
             return False
-        super()._absorb_event(event, from_peer=from_peer)
         self._pending_pull.pop(event.event_id, None)
         self._id_age[event.event_id] = 0
         self._hot_budget[event.event_id] = self.eager_rounds

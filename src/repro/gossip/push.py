@@ -23,7 +23,7 @@ delivery adds to the receiver's benefit (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.accounting import WorkLedger
 from ..membership.base import MembershipComponent, MembershipProvider
@@ -35,6 +35,8 @@ from ..sim.engine import Simulator
 from ..sim.network import Message, Network
 from ..sim.node import Process
 from ..telemetry import Telemetry
+from ..tracing.context import TraceContext
+from ..tracing.spans import DELIVER, DUPLICATE, PUBLISH, PULL_RECOVER, RECEIVE, RELAY
 from .buffers import EventBuffer
 
 __all__ = ["GossipMessage", "PushGossipNode", "GOSSIP_MESSAGE_KIND"]
@@ -143,6 +145,14 @@ class PushGossipNode(Process):
         #: how useful each sender's forwards were, which the bias detector
         #: uses to spot peers inflating their contribution with stale events.
         self.forward_audit = None
+        #: Optional shared :class:`~repro.tracing.Tracer` (attached by the
+        #: runner/host on opted-in runs, like the telemetry store).  The hot
+        #: paths pay a single ``is not None`` check when tracing is off.
+        self.tracer = None
+        #: event id → (local span id, hops) for events this node traces; the
+        #: span is the node's own publish/receive span, which its relays and
+        #: deliveries parent on.
+        self._trace_state: Dict[str, Tuple[int, int]] = {}
         #: Optional shared telemetry store (node-tagged instruments).  The
         #: instruments are pre-bound here so the per-round/per-delivery hot
         #: paths pay one None check, not a facade lookup.
@@ -260,8 +270,11 @@ class PushGossipNode(Process):
             membership_digest=digest,
         )
         self.buffer.mark_forwarded([event.event_id for event in events])
+        trace = self._trace_contexts(events, RELAY, fanout=len(neighbors))
         for neighbor in neighbors:
-            self.send(neighbor, GOSSIP_MESSAGE_KIND, payload=message, size=message.size)
+            self.send(
+                neighbor, GOSSIP_MESSAGE_KIND, payload=message, size=message.size, trace=trace
+            )
         self.ledger.record_gossip_send(
             self.node_id,
             messages=len(neighbors),
@@ -298,9 +311,14 @@ class PushGossipNode(Process):
         ):
             self.membership.absorb_digest(payload.membership_digest)
         self.observe_peer_benefit(message.sender, payload.sender_benefit_rate)
+        contexts = self._contexts_by_event(message) if message.trace else None
         new_events = 0
         for event in payload.events:
-            if self._absorb_event(event, from_peer=message.sender):
+            if self._absorb_event(
+                event,
+                from_peer=message.sender,
+                trace_ctx=None if contexts is None else contexts.get(event.event_id),
+            ):
                 new_events += 1
         if self.forward_audit is not None and payload.events:
             self.forward_audit.observe(message.sender, new_events, len(payload.events))
@@ -308,11 +326,33 @@ class PushGossipNode(Process):
     def observe_peer_benefit(self, peer_id: str, benefit_rate: float) -> None:
         """Hook used by the adaptive fair protocol to track peer benefits."""
 
-    def _absorb_event(self, event: Event, from_peer: Optional[str] = None) -> bool:
-        """Lines 12–20 of Figure 4; returns True if the event was new."""
+    def _absorb_event(
+        self,
+        event: Event,
+        from_peer: Optional[str] = None,
+        trace_ctx: Optional[TraceContext] = None,
+        recovered: bool = False,
+    ) -> bool:
+        """Lines 12–20 of Figure 4; returns True if the event was new.
+
+        ``trace_ctx`` is the sender's propagated trace context (if the event
+        is part of a sampled trace) and ``recovered`` marks first sights that
+        arrived via a pull reply rather than an eager push; both only feed
+        span emission, never protocol decisions.
+        """
         if event.event_id in self.seen_event_ids:
+            if trace_ctx is not None and self.tracer is not None:
+                self.tracer.emit(
+                    DUPLICATE,
+                    event.event_id,
+                    self.node_id,
+                    parent_id=trace_ctx.parent_span,
+                    hops=trace_ctx.hops,
+                    peer=from_peer,
+                )
             return False
         self.seen_event_ids.add(event.event_id)
+        self._trace_first_sight(event, from_peer, trace_ctx, recovered)
         self.buffer.add(event, received_at=self.simulator.now)
         if self.is_interested(event):
             self.deliver(event)
@@ -326,16 +366,105 @@ class PushGossipNode(Process):
         self.deliveries_this_window += 1
         if self._deliveries_counter is not None:
             self._deliveries_counter.increment()
+        if self.tracer is not None:
+            state = self._trace_state.get(event.event_id)
+            if state is not None:
+                self.tracer.emit(
+                    DELIVER, event.event_id, self.node_id, parent_id=state[0], hops=state[1]
+                )
         self.ledger.record_delivery(self.node_id)
         self.delivery_log.record(self.node_id, event, delivered_at=self.simulator.now)
         for callback in self._callbacks:
             callback(self.node_id, event)
 
+    # -------------------------------------------------------------- tracing
+
+    def _trace_first_sight(
+        self,
+        event: Event,
+        from_peer: Optional[str],
+        trace_ctx: Optional[TraceContext],
+        recovered: bool,
+    ) -> None:
+        """Emit the publish/receive/pull-recover span for a newly seen event.
+
+        Sampling is head-based: only the publisher consults the sampler
+        (``from_peer is None``); receivers trace exactly the events whose
+        context was propagated to them, so a sampled trace is always
+        complete and an unsampled one is free everywhere.
+        """
+        if self.tracer is None:
+            return
+        if from_peer is None:
+            if self.tracer.sampled(event.event_id):
+                span = self.tracer.emit(PUBLISH, event.event_id, self.node_id)
+                self._trace_state[event.event_id] = (span, 0)
+        elif trace_ctx is not None:
+            span = self.tracer.emit(
+                PULL_RECOVER if recovered else RECEIVE,
+                event.event_id,
+                self.node_id,
+                parent_id=trace_ctx.parent_span,
+                hops=trace_ctx.hops,
+                peer=from_peer,
+            )
+            self._trace_state[event.event_id] = (span, trace_ctx.hops)
+
+    def _trace_contexts(
+        self, events: Sequence[Event], span_kind: str, **details
+    ) -> Optional[Tuple[TraceContext, ...]]:
+        """Relay-side spans + contexts for the traced subset of ``events``.
+
+        One span per (event, round batch) — every recipient of the batch
+        shares it as parent — which bounds span volume by rounds, not by
+        ``rounds × fanout``.  Returns ``None`` when nothing is traced so
+        untraced messages carry no trace field at all.
+        """
+        if self.tracer is None or not self._trace_state:
+            return None
+        return self._trace_contexts_for_ids(
+            [event.event_id for event in events], span_kind, **details
+        )
+
+    def _trace_contexts_for_ids(
+        self, event_ids: Sequence[str], span_kind: str, **details
+    ) -> Optional[Tuple[TraceContext, ...]]:
+        """Id-keyed core of :meth:`_trace_contexts` (digests carry ids only)."""
+        contexts: List[TraceContext] = []
+        for event_id in event_ids:
+            state = self._trace_state.get(event_id)
+            if state is None:
+                continue
+            span = self.tracer.emit(
+                span_kind,
+                event_id,
+                self.node_id,
+                parent_id=state[0],
+                hops=state[1],
+                **details,
+            )
+            contexts.append(TraceContext(event_id, span, state[1] + 1))
+        return tuple(contexts) if contexts else None
+
+    @staticmethod
+    def _contexts_by_event(message: Message) -> Dict[str, TraceContext]:
+        """The message's trace contexts keyed by event id (empty when untraced)."""
+        if not message.trace:
+            return {}
+        return {ctx.trace_id: ctx for ctx in message.trace}
+
     # ----------------------------------------------------------- accounting
 
-    def send(self, recipient: str, kind: str, payload: object = None, size: int = 1):
+    def send(
+        self,
+        recipient: str,
+        kind: str,
+        payload: object = None,
+        size: int = 1,
+        trace: object = None,
+    ):
         """Send a message, charging infrastructure messages to the ledger."""
-        message = super().send(recipient, kind, payload=payload, size=size)
+        message = super().send(recipient, kind, payload=payload, size=size, trace=trace)
         if message is not None and kind.startswith(MembershipComponent.MESSAGE_PREFIX):
             self.ledger.record_infrastructure(self.node_id)
         return message

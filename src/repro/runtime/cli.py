@@ -52,6 +52,7 @@ from .transport import MemoryTransport, TcpTransport, Transport, UdpTransport
 __all__ = [
     "add_runtime_subcommands",
     "parse_telemetry_sinks",
+    "parse_tracer",
     "build_live_cluster",
     "LiveCluster",
     "RUNTIME_ARTIFACT_SCHEMA",
@@ -134,6 +135,28 @@ def parse_telemetry_sinks(args: argparse.Namespace, spec_has_sinks: bool = False
     if period is not None and not sinks and not spec_has_sinks:
         raise SystemExit("--telemetry-period has no effect without --telemetry")
     return sinks
+
+
+def parse_tracer(args: argparse.Namespace):
+    """Build the ``--trace`` tracer (or None) as a clean CLI error.
+
+    ``--trace PATH`` writes span JSON-lines to PATH; ``--trace-sample-rate``
+    defaults to 1.0 when tracing is on (trace everything — the flag exists
+    to dial volume *down*) and is rejected when dangling, mirroring the
+    ``--telemetry-period`` guard.  Shared by ``run`` and the live commands.
+    """
+    path = getattr(args, "trace", None)
+    rate = getattr(args, "trace_sample_rate", None)
+    if path is None:
+        if rate is not None:
+            raise SystemExit("--trace-sample-rate has no effect without --trace")
+        return None
+    from ..tracing import JsonlTraceSink, Tracer
+
+    try:
+        return Tracer(JsonlTraceSink(path), sample_rate=1.0 if rate is None else rate)
+    except (ValueError, OSError) as error:
+        raise SystemExit(str(error))
 
 
 def _load_fault_plan(path: str) -> FaultPlan:
@@ -219,6 +242,7 @@ def _build_from_spec(args: argparse.Namespace) -> LiveCluster:
             spec.telemetry.period if sinks else None
         ),
         spec=spec,
+        tracer=parse_tracer(args),
     )
     popularity = build_popularity(spec)
     interest_model = build_interest_model(spec, popularity)
@@ -254,6 +278,7 @@ def _build_classic(args: argparse.Namespace) -> LiveCluster:
         snapshot_sinks=sinks,
         snapshot_period=getattr(args, "telemetry_period", None),
         fault_plan=fault_plan,
+        tracer=parse_tracer(args),
         membership_provider=provider,
         node_kwargs={
             "fanout": args.fanout,
@@ -368,6 +393,8 @@ async def _run_live(args: argparse.Namespace, live_report: bool) -> Dict[str, ob
         if reporter is not None:
             reporter.cancel()
         await host.stop()
+        if host.tracer is not None:
+            host.tracer.close()
 
     round_period = args.round_period
     if round_period is None:
@@ -399,6 +426,11 @@ async def _run_live(args: argparse.Namespace, live_report: bool) -> Dict[str, ob
         f"transport {args.transport} ({host.transport.frames_sent} frames, "
         f"{host.transport.bytes_sent} bytes sent)"
     )
+    if host.tracer is not None:
+        print(
+            f"trace: {host.tracer.spans_emitted} span(s) "
+            f"at sample rate {host.tracer.sample_rate} -> {args.trace}"
+        )
     return {
         "schema": RUNTIME_ARTIFACT_SCHEMA,
         "transport": args.transport,
@@ -543,6 +575,21 @@ def _add_common_runtime_options(parser: argparse.ArgumentParser) -> None:
         metavar="UNITS",
         help="snapshot period in protocol time units (default: 5.0; at "
         "--time-scale 20 that is one snapshot every 0.25s)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE.jsonl",
+        help="record causal dissemination spans to a JSON-lines file "
+        "(render with `python -m repro trace TRACE.jsonl`)",
+    )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fraction of published events to trace, decided "
+        "deterministically per event id (default with --trace: 1.0)",
     )
 
 

@@ -87,11 +87,19 @@ class NodeHost(DisseminationSystem):
         snapshot_period: Optional[float] = None,
         spec: Optional[StackSpec] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
     ) -> None:
         self.clock = WallClock(time_scale=time_scale)
         self.scheduler = AsyncScheduler(self.clock, RngRegistry(seed))
         self.network = RuntimeNetwork(self.scheduler, transport)
         self.network.control_handler = self._handle_control
+        #: Dissemination tracing: spans stamp protocol time (scheduler.now)
+        #: so sim and live traces of the same scenario line up.  Tracing is
+        #: observability, not configuration — it never appears in the spec.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.attach_clock(lambda: self.scheduler.now)
+            self.network.tracer = tracer
         self.ledger = ledger if ledger is not None else WorkLedger()
         self._delivery_log = delivery_log if delivery_log is not None else DeliveryLog()
         self.subscriptions = SubscriptionTable()
@@ -183,6 +191,8 @@ class NodeHost(DisseminationSystem):
             **kwargs,
         )
         node.add_delivery_callback(self._record_delivery)
+        if self.tracer is not None and hasattr(node, "_trace_state"):
+            node.tracer = self.tracer
         self.nodes[node_id] = node
         self.registry.add(node)
         self._factories[node_id] = EventFactory(node_id)
@@ -304,6 +314,8 @@ class NodeHost(DisseminationSystem):
         self.nodes = dict(system.client_nodes())
         for node in self.nodes.values():
             node.add_delivery_callback(self._record_delivery)
+            if self.tracer is not None and hasattr(node, "_trace_state"):
+                node.tracer = self.tracer
 
     async def stop(self) -> None:
         """Stop all timers and tear the transport down.

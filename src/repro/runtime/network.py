@@ -59,6 +59,10 @@ class RuntimeNetwork(FaultInjectionSurface):
         self.decode_errors = 0
         self._init_fault_state()
         self._delivery_hooks: list = []
+        #: Optional :class:`~repro.tracing.tracer.Tracer`; when set, dropped
+        #: traced frames emit ``drop`` spans (same contract as the simulator
+        #: network's ``tracer`` attribute).
+        self.tracer = None
         #: Installed by the host; receives decoded ``runtime.*`` messages.
         self.control_handler: Optional[Callable[[Message], None]] = None
         transport.set_receiver(self._on_frame)
@@ -124,6 +128,7 @@ class RuntimeNetwork(FaultInjectionSurface):
         kind: str,
         payload: Any = None,
         size: int = 1,
+        trace: Optional[Tuple] = None,
     ) -> Message:
         """Encode a message and hand it to the transport."""
         message = Message(
@@ -133,36 +138,51 @@ class RuntimeNetwork(FaultInjectionSurface):
             payload=payload,
             size=size,
             sent_at=self._scheduler.now,
+            trace=trace,
         )
         self.stats.record_sent(message)
         if not message.kind.startswith(CONTROL_PREFIX):
             if not self._same_partition(sender, recipient):
                 self.stats.dropped_partition += 1
+                self._trace_drop(message, "partition")
                 return message
             if self._perturb_loss > 0.0 and self._perturb_rng.random() < self._perturb_loss:
                 self.stats.lost += 1
+                self._trace_drop(message, "lost")
                 return message
         body = encode_message(message)
         if self._perturb_latency > 0.0 and not message.kind.startswith(CONTROL_PREFIX):
-            def deliver_later(recipient=recipient, body=body) -> None:
+            def deliver_later(recipient=recipient, body=body, message=message) -> None:
                 if not self._transport.send(recipient, body):
                     self.stats.dropped_dead += 1
+                    self._trace_drop(message, "dead")
 
             self._scheduler.schedule(
                 self._perturb_latency, deliver_later, label="fault:extra-latency"
             )
         elif not self._transport.send(recipient, body):
             self.stats.dropped_dead += 1
+            self._trace_drop(message, "dead")
         return message
 
     def broadcast(
-        self, sender: str, recipients: Iterable[str], kind: str, payload: Any = None, size: int = 1
+        self,
+        sender: str,
+        recipients: Iterable[str],
+        kind: str,
+        payload: Any = None,
+        size: int = 1,
+        trace: Optional[Tuple] = None,
     ) -> Tuple[Message, ...]:
         """Send the same payload to several recipients (one message each)."""
         return tuple(
-            self.send(sender, recipient, kind, payload=payload, size=size)
+            self.send(sender, recipient, kind, payload=payload, size=size, trace=trace)
             for recipient in recipients
         )
+
+    def _trace_drop(self, message: Message, reason: str) -> None:
+        if message.trace and self.tracer is not None:
+            self.tracer.record_drop(message, reason)
 
     # ------------------------------------------------------------- receiving
 
@@ -184,10 +204,12 @@ class RuntimeNetwork(FaultInjectionSurface):
         # partition, so the receive side must enforce it as well.
         if not self._same_partition(message.sender, message.recipient):
             self.stats.dropped_partition += 1
+            self._trace_drop(message, "partition")
             return
         handler = self._handlers.get(message.recipient)
         if handler is None or message.recipient not in self._alive:
             self.stats.dropped_dead += 1
+            self._trace_drop(message, "dead")
             return
         self.stats.delivered += 1
         now = self._scheduler.now

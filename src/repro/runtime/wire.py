@@ -34,6 +34,7 @@ from ..membership.views import NodeDescriptor
 from ..pubsub.events import Event
 from ..pubsub.filters import Filter, filter_from_dict
 from ..sim.network import Message
+from ..tracing.context import decode_contexts, encode_contexts
 
 __all__ = [
     "WIRE_VERSION",
@@ -191,6 +192,11 @@ def encode_message(message: Message) -> bytes:
         "sent_at": message.sent_at,
         "payload": payload,
     }
+    # The trace key is only present on traced frames, so the untraced wire
+    # format is byte-for-byte unchanged and WIRE_VERSION need not bump;
+    # decoders ignore unknown keys, so mixed traced/untraced clusters work.
+    if message.trace:
+        envelope["trace"] = encode_contexts(message.trace)
     try:
         return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as error:
@@ -226,6 +232,7 @@ def decode_message(data: bytes) -> Message:
             payload=payload,
             size=int(envelope.get("size", 1)),
             sent_at=float(envelope.get("sent_at", 0.0)),
+            trace=decode_contexts(envelope.get("trace")),
         )
     except WireError:
         raise

@@ -126,6 +126,11 @@ class Message:
         contribution by payload, per Figure 3 of the paper.
     sent_at:
         Simulated time at which the message was handed to the network.
+    trace:
+        Optional tuple of :class:`~repro.tracing.context.TraceContext`
+        entries, one per traced event carried by the message.  ``None`` on
+        every untraced message (the overwhelming default), so the field
+        costs nothing unless a run opted into dissemination tracing.
     """
 
     sender: str
@@ -134,6 +139,7 @@ class Message:
     payload: Any = None
     size: int = 1
     sent_at: float = 0.0
+    trace: Optional[Tuple] = None
 
 
 class LatencyModel:
@@ -254,6 +260,10 @@ class Network(FaultInjectionSurface):
         self._alive: Set[str] = set()
         self.stats = NetworkStats()
         self._delivery_hooks: list[Callable[[Message, float], None]] = []
+        #: Optional :class:`~repro.tracing.tracer.Tracer` (duck-typed so the
+        #: sim package stays import-independent of the tracing package);
+        #: when set, dropped traced frames emit ``drop`` spans.
+        self.tracer = None
         self._init_fault_state()
 
     # --------------------------------------------------------------- wiring
@@ -308,11 +318,15 @@ class Network(FaultInjectionSurface):
         kind: str,
         payload: Any = None,
         size: int = 1,
+        trace: Optional[Tuple] = None,
     ) -> Message:
         """Send a message; delivery (if any) is scheduled on the engine.
 
         The message object is returned so callers (for example the trace
-        recorder) can correlate sends with deliveries.
+        recorder) can correlate sends with deliveries.  ``trace`` carries
+        the sender's trace contexts (one per traced event on the message);
+        it does not affect physics — drops and latency are decided exactly
+        as for an untraced message.
         """
         message = Message(
             sender=sender,
@@ -321,21 +335,26 @@ class Network(FaultInjectionSurface):
             payload=payload,
             size=size,
             sent_at=self._simulator.now,
+            trace=trace,
         )
         self.stats.record_sent(message)
 
         rng = self._simulator.rng.stream("network")
         if recipient not in self._handlers:
             self.stats.dropped_dead += 1
+            self._trace_drop(message, "dead")
             return message
         if not self._same_partition(sender, recipient):
             self.stats.dropped_partition += 1
+            self._trace_drop(message, "partition")
             return message
         if self._loss.is_lost(rng, message):
             self.stats.lost += 1
+            self._trace_drop(message, "lost")
             return message
         if self._perturb_loss > 0.0 and self._perturb_rng.random() < self._perturb_loss:
             self.stats.lost += 1
+            self._trace_drop(message, "lost")
             return message
 
         latency = self._latency.sample(rng, sender, recipient) + self._perturb_latency
@@ -345,18 +364,29 @@ class Network(FaultInjectionSurface):
         return message
 
     def broadcast(
-        self, sender: str, recipients: Iterable[str], kind: str, payload: Any = None, size: int = 1
+        self,
+        sender: str,
+        recipients: Iterable[str],
+        kind: str,
+        payload: Any = None,
+        size: int = 1,
+        trace: Optional[Tuple] = None,
     ) -> Tuple[Message, ...]:
         """Send the same payload to several recipients (one message each)."""
         return tuple(
-            self.send(sender, recipient, kind, payload=payload, size=size)
+            self.send(sender, recipient, kind, payload=payload, size=size, trace=trace)
             for recipient in recipients
         )
+
+    def _trace_drop(self, message: Message, reason: str) -> None:
+        if message.trace and self.tracer is not None:
+            self.tracer.record_drop(message, reason)
 
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.recipient)
         if handler is None or message.recipient not in self._alive:
             self.stats.dropped_dead += 1
+            self._trace_drop(message, "dead")
             return
         self.stats.delivered += 1
         now = self._simulator.now

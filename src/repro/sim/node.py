@@ -126,12 +126,19 @@ class Process:
     # ------------------------------------------------------------ messaging
 
     def send(
-        self, recipient: str, kind: str, payload: object = None, size: int = 1
+        self,
+        recipient: str,
+        kind: str,
+        payload: object = None,
+        size: int = 1,
+        trace: object = None,
     ) -> Optional[Message]:
         """Send a message if this process is alive; returns the message or None."""
         if not self.alive:
             return None
-        return self.network.send(self.node_id, recipient, kind, payload=payload, size=size)
+        return self.network.send(
+            self.node_id, recipient, kind, payload=payload, size=size, trace=trace
+        )
 
     def _receive(self, message: Message) -> None:
         if not self.alive:

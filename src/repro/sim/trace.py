@@ -1,89 +1,16 @@
-"""Structured trace recording.
+"""Deprecation shim: the event-trace helper moved to :mod:`repro.tracing`.
 
-A :class:`TraceRecorder` accumulates timestamped records emitted by protocol
-code (publications, deliveries, forwards, subscription changes, failures).
-Analysis code consumes the trace after the run; nothing in the hot path ever
-iterates over it.  Recording can be disabled wholesale for large benchmark
-runs where only the aggregate counters matter.
+The original :class:`TraceRecord` / :class:`TraceRecorder` (flat timestamped
+category records consumed by the failure injectors and golden-trace tests)
+now live in :mod:`repro.tracing.legacy`, next to the span-based causal
+tracing layer that superseded them.  This module re-exports them unchanged —
+the same treatment ``sim/metrics.py`` received when the telemetry package
+unified the metrics layer — so existing imports keep working.  New code
+should record spans through :class:`repro.tracing.Tracer` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from ..tracing.legacy import TraceRecord, TraceRecorder
 
 __all__ = ["TraceRecord", "TraceRecorder"]
-
-
-@dataclass(frozen=True)
-class TraceRecord:
-    """One timestamped trace entry.
-
-    Attributes
-    ----------
-    timestamp:
-        Simulated time of the occurrence.
-    category:
-        Coarse grouping (``"publish"``, ``"deliver"``, ``"forward"``,
-        ``"subscribe"``, ``"churn"`` ...).
-    node:
-        The node the record is about (empty string for system-wide records).
-    details:
-        Free-form payload, kept small (identifiers, counts).
-    """
-
-    timestamp: float
-    category: str
-    node: str = ""
-    details: Dict[str, Any] = field(default_factory=dict)
-
-
-class TraceRecorder:
-    """Collects :class:`TraceRecord` objects during a simulation run."""
-
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
-        self._records: List[TraceRecord] = []
-        self._listeners: List[Callable[[TraceRecord], None]] = []
-
-    def record(
-        self, timestamp: float, category: str, node: str = "", **details: Any
-    ) -> Optional[TraceRecord]:
-        """Append a record (and notify listeners) if recording is enabled."""
-        if not self.enabled:
-            return None
-        entry = TraceRecord(timestamp=timestamp, category=category, node=node, details=details)
-        self._records.append(entry)
-        for listener in self._listeners:
-            listener(entry)
-        return entry
-
-    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
-        """Register a callback invoked synchronously for every new record."""
-        self._listeners.append(listener)
-
-    def clear(self) -> None:
-        """Drop all accumulated records."""
-        self._records.clear()
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
-
-    def by_category(self, category: str) -> List[TraceRecord]:
-        """All records with the given category, in chronological order."""
-        return [record for record in self._records if record.category == category]
-
-    def by_node(self, node: str) -> List[TraceRecord]:
-        """All records attributed to the given node."""
-        return [record for record in self._records if record.node == node]
-
-    def count(self, category: str, node: Optional[str] = None) -> int:
-        """Number of records in ``category`` (optionally restricted to a node)."""
-        return sum(
-            1
-            for record in self._records
-            if record.category == category and (node is None or record.node == node)
-        )

@@ -40,12 +40,15 @@ __all__ = [
 class ReportSource:
     """One loaded artifact: its kind plus the decoded payload."""
 
-    def __init__(self, kind: str, path: str, snapshots=None, results=None, runtime=None):
-        self.kind = kind  # "snapshots" | "results" | "runtime"
+    def __init__(
+        self, kind: str, path: str, snapshots=None, results=None, runtime=None, spans=None
+    ):
+        self.kind = kind  # "snapshots" | "results" | "runtime" | "trace"
         self.path = path
         self.snapshots: List[TelemetrySnapshot] = snapshots or []
         self.results = results or []
         self.runtime: Dict[str, object] = runtime or {}
+        self.spans = spans or []
 
 
 def _looks_like_snapshot_line(line: str) -> bool:
@@ -67,6 +70,10 @@ def load_report_source(path: str) -> ReportSource:
     # bare "{" and are skipped without parsing anything twice).
     if SNAPSHOT_SCHEMA in head and _looks_like_snapshot_line(head):
         return ReportSource("snapshots", path, snapshots=read_snapshots_jsonl(path))
+    from ..tracing import TRACE_SCHEMA, read_spans_jsonl
+
+    if TRACE_SCHEMA in head:
+        return ReportSource("trace", path, spans=read_spans_jsonl(path))
 
     from ..experiments.runner import ExperimentResult
 
@@ -94,8 +101,8 @@ def load_report_source(path: str) -> ReportSource:
         return ReportSource("runtime", path, runtime=payload)
     raise ValueError(
         f"artifact {path!r} has an unrecognised shape; expected a telemetry "
-        "JSON-lines stream, a results artifact (--json), a cache artifact, or "
-        "a runtime artifact"
+        "JSON-lines stream, a trace JSON-lines stream (--trace), a results "
+        "artifact (--json), a cache artifact, or a runtime artifact"
     )
 
 
@@ -332,4 +339,12 @@ def render_report(source: ReportSource, max_rows: int = 10) -> str:
         return render_snapshots(source.snapshots, max_rows=max_rows)
     if source.kind == "results":
         return render_results(source.results, max_rows=max_rows)
+    if source.kind == "trace":
+        # Trace streams render aggregates here; the `repro trace` command
+        # adds per-event infection trees on top of the same analysis.
+        from ..tracing import analyze_spans, render_trace
+
+        return render_trace(
+            analyze_spans(source.spans), max_events=0, max_rows=max_rows
+        )
     return _render_runtime(source.runtime)

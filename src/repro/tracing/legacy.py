@@ -1,0 +1,92 @@
+"""Legacy event-trace recording (the pre-tracing ``sim/trace.py`` layer).
+
+:class:`TraceRecorder` predates the span layer: it accumulates flat
+timestamped category records (``"crash"``, ``"churn-join"`` ...) with no
+causality, and the failure injectors still narrate through it.  It now lives
+inside the tracing package next to its successor; ``repro.sim.trace``
+remains as a thin deprecation shim (the same treatment ``sim/metrics.py``
+got when telemetry unified the metrics layer).  New code should emit
+:class:`~repro.tracing.spans.SpanRecord` objects through a
+:class:`~repro.tracing.tracer.Tracer` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace entry.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulated time of the occurrence.
+    category:
+        Coarse grouping (``"publish"``, ``"deliver"``, ``"forward"``,
+        ``"subscribe"``, ``"churn"`` ...).
+    node:
+        The node the record is about (empty string for system-wide records).
+    details:
+        Free-form payload, kept small (identifiers, counts).
+    """
+
+    timestamp: float
+    category: str
+    node: str = ""
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects during a simulation run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def record(
+        self, timestamp: float, category: str, node: str = "", **details: Any
+    ) -> Optional[TraceRecord]:
+        """Append a record (and notify listeners) if recording is enabled."""
+        if not self.enabled:
+            return None
+        entry = TraceRecord(timestamp=timestamp, category=category, node=node, details=details)
+        self._records.append(entry)
+        for listener in self._listeners:
+            listener(entry)
+        return entry
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked synchronously for every new record."""
+        self._listeners.append(listener)
+
+    def clear(self) -> None:
+        """Drop all accumulated records."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All records with the given category, in chronological order."""
+        return [record for record in self._records if record.category == category]
+
+    def by_node(self, node: str) -> List[TraceRecord]:
+        """All records attributed to the given node."""
+        return [record for record in self._records if record.node == node]
+
+    def count(self, category: str, node: Optional[str] = None) -> int:
+        """Number of records in ``category`` (optionally restricted to a node)."""
+        return sum(
+            1
+            for record in self._records
+            if record.category == category and (node is None or record.node == node)
+        )

@@ -1,0 +1,43 @@
+"""Deterministic head-based trace sampling.
+
+The sampling decision is made once, at the publisher (the head of the
+trace), by hashing the event id against the configured rate — no RNG stream
+is consumed, so enabling tracing cannot perturb a seeded run, and the same
+events are sampled for the same rate on every engine and every rerun.
+Downstream nodes never re-decide: a propagated :class:`~repro.tracing.context.TraceContext`
+is always honoured, which keeps every sampled trace complete.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["TraceSampler"]
+
+#: 2**64, the denominator mapping an 8-byte hash prefix onto [0, 1).
+_HASH_SPAN = float(1 << 64)
+
+
+class TraceSampler:
+    """Hash-based sampler: ``sampled(id)`` is a pure function of (id, rate, salt).
+
+    ``rate`` is the expected fraction of traces kept; 0 disables sampling
+    entirely (the default everywhere — tracing is opt-in), 1 keeps every
+    trace.  ``salt`` lets two tracers over the same workload sample disjoint
+    or identical populations on purpose.
+    """
+
+    def __init__(self, rate: float = 0.0, salt: str = "") -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be within [0, 1], got {rate!r}")
+        self.rate = float(rate)
+        self.salt = salt
+
+    def sampled(self, trace_id: str) -> bool:
+        """Whether the trace with this id is in the sampled population."""
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        digest = hashlib.sha256((self.salt + trace_id).encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / _HASH_SPAN < self.rate

@@ -1,0 +1,219 @@
+"""Span records and trace sinks.
+
+One :class:`SpanRecord` is one observation about one event at one node: it
+was published, relayed, received, received again (``duplicate``), advertised
+in a digest, recovered via pull, delivered to the application, or dropped by
+the network.  Records stream into a :class:`TraceSink` as they happen; the
+sinks mirror the telemetry sinks (bounded memory ring for tests and live
+inspection, JSON-lines for artifacts the ``repro trace`` CLI reads back).
+
+Determinism contract: span records contain only protocol time, sequential
+span ids, and protocol identifiers — no wall time, no randomness — and the
+JSON-lines encoding is canonical (sorted keys, fixed separators), so a
+pinned-seed simulator run writes a byte-identical trace stream every time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterator, List, Optional
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "SPAN_KINDS",
+    "PUBLISH",
+    "RELAY",
+    "RECEIVE",
+    "DUPLICATE",
+    "DIGEST_ADVERT",
+    "PULL_RECOVER",
+    "DELIVER",
+    "DROP",
+    "SpanRecord",
+    "TraceSink",
+    "MemoryTraceSink",
+    "JsonlTraceSink",
+    "read_spans_jsonl",
+]
+
+#: Schema tag written into every JSON-lines span record (sniffed by
+#: ``repro report`` / ``repro trace`` to recognise trace artifacts).
+TRACE_SCHEMA = "trace-span/v1"
+
+# Span kinds, one per observable step of a dissemination.
+PUBLISH = "publish"            # the event enters the system at its publisher
+RELAY = "relay"                # a node pushes the payload onward (one span per round batch)
+RECEIVE = "receive"            # first sight of the payload via eager push
+DUPLICATE = "duplicate"        # redundant receive of an already-seen event
+DIGEST_ADVERT = "digest-advert"  # the id was advertised in a lazy digest
+PULL_RECOVER = "pull-recover"  # first sight of the payload via pull reply
+DELIVER = "deliver"            # the application callback fired
+DROP = "drop"                  # the network dropped a traced frame (loss/partition/dead)
+
+SPAN_KINDS = (
+    PUBLISH,
+    RELAY,
+    RECEIVE,
+    DUPLICATE,
+    DIGEST_ADVERT,
+    PULL_RECOVER,
+    DELIVER,
+    DROP,
+)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One tracing observation.
+
+    Attributes
+    ----------
+    ts:
+        Protocol time of the observation (simulated time on the simulator,
+        scaled protocol time units on the live runtime).
+    kind:
+        One of :data:`SPAN_KINDS`.
+    trace_id:
+        The traced event's id (one trace per published event).
+    span_id:
+        Run-wide sequential id; parents reference it.
+    node:
+        The node the observation is about (drop spans use the intended
+        recipient).
+    parent_id:
+        The causing span (``None`` only for ``publish`` roots and orphan
+        receives whose context was not propagated).
+    hops:
+        Network hops the event had taken at this span.
+    details:
+        Small free-form extras (``peer``, ``via``, ``reason`` ...).
+    """
+
+    ts: float
+    kind: str
+    trace_id: str
+    span_id: int
+    node: str
+    parent_id: Optional[int] = None
+    hops: int = 0
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "schema": TRACE_SCHEMA,
+            "ts": self.ts,
+            "kind": self.kind,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "node": self.node,
+            "hops": self.hops,
+        }
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        if self.details:
+            payload["details"] = dict(self.details)
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "SpanRecord":
+        return SpanRecord(
+            ts=float(payload["ts"]),
+            kind=str(payload["kind"]),
+            trace_id=str(payload["trace_id"]),
+            span_id=int(payload["span_id"]),
+            node=str(payload["node"]),
+            parent_id=(
+                int(payload["parent_id"]) if payload.get("parent_id") is not None else None
+            ),
+            hops=int(payload.get("hops", 0)),
+            details=dict(payload.get("details", {})),
+        )
+
+
+class TraceSink:
+    """Destination for span records; implementations must not raise."""
+
+    def emit(self, record: SpanRecord) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further emits are undefined."""
+
+
+class MemoryTraceSink(TraceSink):
+    """Bounded in-memory ring of the most recent spans (tests, live peeks)."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._records: "deque[SpanRecord]" = deque(maxlen=capacity)
+
+    def emit(self, record: SpanRecord) -> None:
+        self._records.append(record)
+
+    def records(self) -> List[SpanRecord]:
+        """The retained spans, oldest first."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self._records)
+
+
+class JsonlTraceSink(TraceSink):
+    """Appends one canonical JSON object per span to a text file.
+
+    Canonical encoding (sorted keys, no extra whitespace) is what makes the
+    byte-identical-reruns test meaningful: two runs of the same seed must
+    produce the same bytes, not merely equivalent JSON.
+    """
+
+    def __init__(self, path: str) -> None:
+        import os
+
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.path = path
+        self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def emit(self, record: SpanRecord) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(
+            json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":"))
+        )
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_spans_jsonl(path: str) -> List[SpanRecord]:
+    """Load a JSON-lines span stream written by :class:`JsonlTraceSink`.
+
+    Raises ``ValueError`` (with the offending line number) on lines that are
+    not span records, so the CLI can turn it into a friendly error.
+    """
+    records: List[SpanRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as error:
+                raise ValueError(f"{path}:{number}: not valid JSON: {error}") from None
+            if not isinstance(payload, dict) or payload.get("schema") != TRACE_SCHEMA:
+                raise ValueError(
+                    f"{path}:{number}: not a {TRACE_SCHEMA} span record"
+                )
+            records.append(SpanRecord.from_dict(payload))
+    return records
