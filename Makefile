@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-rt bench-metrics bench-faults bench-lazy bench-trace serve-smoke serve-scenario-smoke registry-smoke report-smoke fault-smoke lazy-smoke trace-smoke clean-cache
+.PHONY: test bench bench-smoke bench-rt bench-metrics bench-faults bench-lazy bench-trace bench-domains serve-smoke serve-scenario-smoke registry-smoke report-smoke fault-smoke lazy-smoke trace-smoke domains-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -93,6 +93,23 @@ trace-smoke:
 # tracer must stay <1% on smoke-lazy, physics byte-identical at every rate).
 bench-trace:
 	$(PYTHON) -m pytest benchmarks/bench_trace_overhead.py -q -s
+
+# Multi-domain topology round trip: the 4-domain scenario with its
+# domain-partition fault (per-domain table in the report), the same geo
+# matrix loaded from a --topology file on the simulator and a live cluster,
+# and the bridge hops visible in a trace.
+domains-smoke:
+	$(PYTHON) -m repro run smoke-domains --no-cache --telemetry jsonl:out/domain_metrics.jsonl
+	$(PYTHON) -m repro report out/domain_metrics.jsonl
+	$(PYTHON) -m repro run smoke --no-cache --topology examples/geo_topology.json
+	$(PYTHON) -m repro serve --scenario smoke --topology examples/geo_topology.json --transport memory --duration 3 --rate 200 --drain 0.5
+	$(PYTHON) -m repro run smoke-domains --no-cache --trace out/domain_trace.jsonl
+	$(PYTHON) -m repro trace out/domain_trace.jsonl --max-events 1
+
+# Intra- vs cross-domain delivery at 2/4/8 domains under a domain partition:
+# writes BENCH_domains.json (cross-domain delivery must survive the heal).
+bench-domains:
+	$(PYTHON) -m pytest benchmarks/bench_domains.py -q -s
 
 # BENCH_metrics_overhead.json is tracked (it seeds the perf trajectory), so
 # clean-cache leaves it alone; re-run `make bench-metrics` to refresh it.

@@ -91,7 +91,28 @@ def _resolve_config(args: argparse.Namespace) -> ExperimentConfig:
         except RegistryError as error:
             raise SystemExit(str(error))
     _validate_fault_config(config)
+    _validate_topology_config(config)
     return config
+
+
+def _validate_topology_config(config: ExperimentConfig) -> None:
+    """Fail a bad topology (from --set or a merged --topology file) as a
+    clean CLI error before any experiment builds or workers spawn.
+
+    Compiling the domain map here catches everything the spec can get
+    wrong — bad domain counts, unknown bridge policies, assignments naming
+    nodes outside the run — with the same did-you-mean messages
+    ``build_stack`` would raise mid-run.
+    """
+    from ..topology import TopologyError, compile_domain_map
+
+    topology = config.spec().topology
+    if not topology.enabled:
+        return
+    try:
+        compile_domain_map(topology, config.node_ids())
+    except TopologyError as error:
+        raise SystemExit(str(error))
 
 
 def _validate_fault_config(config: ExperimentConfig) -> None:
@@ -162,6 +183,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # The file validated alone; the merge with the scenario's own fault
         # entries (e.g. overlapping partition windows) must too.
         _validate_fault_config(config)
+    if getattr(args, "topology", None):
+        # Like --fault: the file's fields become flat topology_* config
+        # fields, so a topology feeds the cache identity and the same JSON
+        # drives `serve --topology` live.
+        from ..topology import TopologyError, TopologySpec
+
+        try:
+            topology = TopologySpec.from_file(args.topology)
+        except TopologyError as error:
+            raise SystemExit(str(error))
+        config = config.with_overrides(**topology.to_flat())
+        _validate_topology_config(config)
     # Validate the telemetry wiring before building the whole stack so a
     # typo'd sink spec (or a dangling --telemetry-period) fails as a clean
     # CLI error, not a traceback after the simulation ran (shared with
@@ -215,7 +248,9 @@ def _run_clean(execute):
 
     try:
         return execute()
-    except FaultPlanError as error:
+    except (FaultPlanError, RegistryError) as error:
+        # RegistryError covers build-time topology rejections (e.g. a sweep
+        # over system.kind hitting a non-gossip system with topology on).
         raise SystemExit(str(error))
 
 
@@ -224,7 +259,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         path = resolve_spec_path(args.param)
     except RegistryError as error:
         raise SystemExit(str(error))
-    if path in ("extra", "faults.plan"):
+    if path in ("extra", "faults.plan", "topology.assignment", "topology.geo"):
         raise SystemExit(f"config field {path!r} is structured and cannot be swept")
     config = _resolve_config(args)
     spec = config.spec()
@@ -417,6 +452,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a declarative fault plan (crash/churn/partition/perturb "
         "entries; the same file drives `serve --fault` live); entries become "
         "part of the config and its cache key",
+    )
+    run_parser.add_argument(
+        "--topology",
+        default=None,
+        metavar="TOPO.json",
+        help="load a multi-domain topology spec (domains, bridge policy, geo "
+        "latency/loss matrix; the same file drives `serve --topology` live); "
+        "fields become part of the config and its cache key",
     )
     run_parser.add_argument(
         "--telemetry",

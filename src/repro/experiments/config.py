@@ -74,6 +74,14 @@ class ExperimentConfig:
         what ``--fault plan.json`` feeds.  All ``fault_*`` fields are
         omitted from :meth:`to_dict` at their defaults so fault-free
         configs keep their historical cache keys.
+    topology_domains / topology_bridges_per_domain / topology_bridge_policy /
+    topology_cross_latency / topology_cross_loss / topology_assignment /
+    topology_geo:
+        Multi-domain topology (see :mod:`repro.topology`): domain count or
+        explicit assignment, bridge federation policy, and the geo
+        latency/loss matrix.  Like ``fault_*``, all topology fields are
+        omitted from :meth:`to_dict` at their defaults so topology-free
+        configs keep their historical cache keys.
     broker_count / stripes / delegates_per_root:
         Baseline-specific knobs.
     fairness_policy:
@@ -131,6 +139,13 @@ class ExperimentConfig:
     fault_perturb_latency: float = 0.0
     fault_perturb_loss: float = 0.0
     fault_plan: Tuple[Tuple[Tuple[str, object], ...], ...] = ()
+    topology_domains: int = 0
+    topology_bridges_per_domain: int = 1
+    topology_bridge_policy: str = "sha256"
+    topology_cross_latency: float = 0.0
+    topology_cross_loss: float = 0.0
+    topology_assignment: Tuple[Tuple[str, str], ...] = ()
+    topology_geo: Tuple[Tuple[str, str, float, float], ...] = ()
     extra: Tuple[Tuple[str, object], ...] = ()
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
@@ -155,11 +170,14 @@ class ExperimentConfig:
             value = getattr(self, config_field.name)
             if config_field.name == "extra":
                 value = [[key, entry] for key, entry in value]
-            elif config_field.name == "fault_plan":
+            elif config_field.name in ("fault_plan", "topology_assignment", "topology_geo"):
                 if not value:
                     continue
                 value = _deep_jsonify(value)
-            elif config_field.name.startswith("fault_") or config_field.name == "alpha":
+            elif (
+                config_field.name.startswith(("fault_", "topology_"))
+                or config_field.name == "alpha"
+            ):
                 # ``alpha`` (lazy-push store fraction) follows the fault_*
                 # rule: omitted at its default so configs that never touch
                 # it keep their historical cache keys.
@@ -182,8 +200,9 @@ class ExperimentConfig:
         values = dict(payload)
         if "extra" in values:
             values["extra"] = tuple((key, entry) for key, entry in values["extra"])
-        if "fault_plan" in values:
-            values["fault_plan"] = _deep_tuplify(values["fault_plan"])
+        for structured in ("fault_plan", "topology_assignment", "topology_geo"):
+            if structured in values:
+                values[structured] = _deep_tuplify(values[structured])
         return ExperimentConfig(**values)
 
     def extra_dict(self) -> Dict[str, object]:

@@ -124,15 +124,41 @@ def _telemetry_collector(simulator, system, policy, telemetry: Telemetry):
     Delivery latencies stream incrementally into the bounded
     ``sim.delivery_latency`` histogram (each tick only ingests records that
     arrived since the previous tick).
+
+    Under a multi-domain topology (``system.topology``) every delivery also
+    lands in a ``domain=``-tagged ``sim.delivery_latency`` histogram and
+    the per-node contribution/benefit gauges carry the node's domain, so
+    ``repro report`` can render the per-domain table without re-deriving
+    the assignment.
     """
+    topology = getattr(system, "topology", None)
     latency_histogram = telemetry.histogram("sim.delivery_latency")
+    domain_histograms = {}
+    if topology is not None:
+        domain_histograms = {
+            name: telemetry.histogram("sim.delivery_latency", domain=name)
+            for name in topology.domain_map.domains
+        }
     consumed = 0
+
+    def _node_tags(node_id: str) -> Dict[str, object]:
+        tags: Dict[str, object] = {"node": node_id}
+        if topology is not None:
+            domain = topology.domain(node_id)
+            if domain is not None:
+                tags["domain"] = domain
+        return tags
 
     def collect() -> None:
         nonlocal consumed
         records = system.delivery_log.ordered_records()
         for index in range(consumed, len(records)):
-            latency_histogram.observe(records[index].latency)
+            record = records[index]
+            latency_histogram.observe(record.latency)
+            if domain_histograms:
+                domain = topology.domain(record.node_id)
+                if domain is not None:
+                    domain_histograms[domain].observe(record.latency)
         consumed = len(records)
         totals = system.ledger.totals()
         total_messages = (
@@ -154,9 +180,11 @@ def _telemetry_collector(simulator, system, policy, telemetry: Telemetry):
         telemetry.set_gauge("fairness.ratio_jain", fairness_report.ratio_jain)
         telemetry.set_gauge("fairness.wasted_share", fairness_report.wasted_share)
         for node_id in sorted(contributions):
-            telemetry.set_gauge("node.contribution", contributions[node_id], node=node_id)
+            telemetry.set_gauge(
+                "node.contribution", contributions[node_id], **_node_tags(node_id)
+            )
         for node_id in sorted(benefits):
-            telemetry.set_gauge("node.benefit", benefits[node_id], node=node_id)
+            telemetry.set_gauge("node.benefit", benefits[node_id], **_node_tags(node_id))
 
     return collect
 
@@ -251,8 +279,14 @@ def run_experiment(
             else config.node_ids()
         )
         plan.validate(node_ids=universe, total_time=config.total_time)
+        topology = getattr(system, "topology", None)
         fault_controller = FaultController(
-            simulator, network, registry, plan, telemetry=telemetry
+            simulator,
+            network,
+            registry,
+            plan,
+            domain_map=topology.domain_map if topology is not None else None,
+            telemetry=telemetry,
         )
         fault_controller.start()
 

@@ -311,6 +311,37 @@ register_scenario(
     "Smoke run with a transient half/half partition healing mid-run",
 )
 register_scenario(
+    "smoke-domains",
+    ExperimentConfig(
+        name="smoke-domains",
+        nodes=24,
+        topics=6,
+        interest_model="zipf",
+        max_topics_per_node=4,
+        publication_rate=2.0,
+        duration=6.0,
+        drain_time=6.0,
+        fanout=3,
+        gossip_size=8,
+        seed=7,
+        topology_domains=4,
+        topology_bridges_per_domain=2,
+        topology_cross_latency=0.5,
+        topology_cross_loss=0.02,
+        fault_plan=(
+            (
+                ("kind", "partition"),
+                ("at", 2.0),
+                ("heal_after", 2.0),
+                ("domains", ("d1",)),
+            ),
+        ),
+    ),
+    "Smoke run on a 4-domain topology with bridge relays, a geo latency/loss "
+    "penalty on cross-domain links, and a transient partition isolating "
+    "domain d1 that heals mid-run",
+)
+register_scenario(
     "smoke-lazy",
     ExperimentConfig(
         name="smoke-lazy",

@@ -50,6 +50,10 @@ class FaultController:
         for plans without node-level entries.
     plan:
         The (already validated) fault plan to execute.
+    domain_map:
+        The run's :class:`~repro.topology.domains.DomainMap`, required when
+        the plan contains domain-partition entries (``domains=...``); those
+        entries resolve domain names into a group map at install time.
     telemetry / trace:
         Optional observability hooks; recording draws no randomness and
         schedules nothing, so attaching them cannot perturb a run.
@@ -62,6 +66,7 @@ class FaultController:
         registry=None,
         plan: FaultPlan = FaultPlan(),
         *,
+        domain_map=None,
         telemetry=None,
         trace=None,
     ) -> None:
@@ -75,6 +80,24 @@ class FaultController:
                 "fault plan contains network entries (partition/perturb) "
                 "but no network is available"
             )
+        for index, entry in enumerate(plan.entries):
+            if entry.kind != "partition" or not entry.domains:
+                continue
+            if domain_map is None:
+                raise FaultPlanError(
+                    f"fault entry #{index} ('partition'): names domains "
+                    f"{sorted(entry.domains)} but the run has no topology; "
+                    "set topology.domains (or pass --topology) first"
+                )
+            # Resolve now so unknown domain names fail at build time, not
+            # mid-run; the install closure re-resolves against the same map.
+            try:
+                domain_map.partition_assignment(entry.domains)
+            except ValueError as error:
+                raise FaultPlanError(
+                    f"fault entry #{index} ('partition'): {error}"
+                )
+        self._domain_map = domain_map
         self._scheduler = scheduler
         self._network = network
         self._registry = registry
@@ -193,7 +216,9 @@ class FaultController:
         generation = {"installed": None}
 
         def install() -> None:
-            if entry.groups:
+            if entry.domains:
+                assignment = self._domain_map.partition_assignment(entry.domains)
+            elif entry.groups:
                 assignment = {node_id: group for node_id, group in entry.groups}
             else:
                 members = sorted(self._network.known_nodes())

@@ -19,9 +19,10 @@ Entry kinds
     each alive node crashes with ``down_probability`` and each crashed node
     recovers with ``up_probability``; ``protected`` nodes never churn.
 ``partition``
-    Transient split: at ``at`` install a partition (explicit ``groups`` or a
-    ``fraction`` split over the sorted node universe), heal ``heal_after``
-    units later.
+    Transient split: at ``at`` install a partition (explicit ``groups``, a
+    ``fraction`` split over the sorted node universe, or named topology
+    ``domains`` when the run has a :mod:`repro.topology` domain map), heal
+    ``heal_after`` units later.
 ``perturb``
     Link-level degradation within ``[at, until]``: add ``extra_latency`` to
     every delivery and drop each message with ``loss_rate``.
@@ -75,7 +76,7 @@ _KIND_FIELDS = {
         "protected",
         "rng_stream",
     },
-    "partition": {"at", "heal_after", "fraction", "groups"},
+    "partition": {"at", "heal_after", "fraction", "groups", "domains"},
     "perturb": {"at", "until", "extra_latency", "loss_rate", "rng_stream"},
 }
 
@@ -148,6 +149,11 @@ class FaultSpec:
     #: Explicit partition assignment ``((node_id, group), ...)``; overrides
     #: ``fraction`` when non-empty.
     groups: Tuple[Tuple[str, int], ...] = ()
+    #: Topology-domain partition: isolate the named domains of the run's
+    #: :class:`~repro.topology.domains.DomainMap` from everything else.
+    #: Resolved to a group map at install time by the controller; requires a
+    #: topology and is mutually exclusive with ``groups``/``fraction``.
+    domains: Tuple[str, ...] = ()
     #: Additive per-message delivery latency while the perturbation is live.
     extra_latency: float = 0.0
     #: Additional Bernoulli loss while the perturbation is live.
@@ -209,7 +215,7 @@ class FaultSpec:
                     raise FaultPlanError(
                         f"fault entry field {key!r} must be a list, got {value!r}"
                     )
-                if key in ("nodes", "protected"):
+                if key in ("nodes", "protected", "domains"):
                     for element in value:
                         if not isinstance(element, str):
                             raise FaultPlanError(
@@ -494,7 +500,16 @@ class FaultPlan:
                     raise FaultPlanError(
                         f"{where}: 'heal_after' must be positive, got {entry.heal_after}"
                     )
-                if entry.groups:
+                if entry.domains:
+                    # Domain names resolve against the run's topology at
+                    # install time (the controller holds the DomainMap);
+                    # here we only reject ambiguous combinations.
+                    if entry.groups:
+                        raise FaultPlanError(
+                            f"{where}: 'domains' and 'groups' are mutually "
+                            "exclusive; name domains or spell out groups, not both"
+                        )
+                elif entry.groups:
                     self._check_nodes(where, [node for node, _ in entry.groups], universe)
                 elif not 0.0 < entry.fraction < 1.0:
                     raise FaultPlanError(

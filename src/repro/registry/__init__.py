@@ -41,6 +41,7 @@ from .specs import (
     StackSpec,
     SystemSpec,
     TelemetrySpec,
+    TopologySpec,
     WorkloadSpec,
     parse_scalar,
     parse_spec_overrides,
@@ -78,6 +79,7 @@ __all__ = [
     "FaultPerturbSpec",
     "FaultsSpec",
     "TelemetrySpec",
+    "TopologySpec",
     "FLAT_TO_PATH",
     "PATH_TO_FLAT",
     "spec_paths",

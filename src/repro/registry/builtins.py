@@ -49,6 +49,14 @@ from ..dht import DksSystem, ScribeSystem, SplitStreamSystem
 from ..gossip import GossipSystem, LazyPushGossipNode, PushPullGossipNode, lazy_store_ids
 from ..membership import cyclon_provider, full_membership_provider, lpbcast_provider
 from ..pubsub.topics import TopicHierarchy
+from ..topology import (
+    BridgeRouter,
+    GeoLinkProfile,
+    TopologyError,
+    TopologyRuntime,
+    compile_domain_map,
+    domain_scoped_provider,
+)
 from ..workloads import (
     AttributeInterest,
     CommunityInterest,
@@ -126,10 +134,23 @@ class BuildContext:
     #: observational: recording draws no randomness and schedules nothing,
     #: so simulator results are bit-identical with or without it.
     telemetry: Optional[Any] = None
+    #: Compiled :class:`~repro.topology.domains.DomainMap` when the spec has
+    #: a topology section; constrains membership sampling to intra-domain
+    #: views (see :meth:`membership_provider`) and is consumed by
+    #: :func:`build_stack` to install the geo matrix and bridge relays.
+    domain_map: Optional[Any] = None
 
     def membership_provider(self):
-        """Build the membership provider named by ``spec.membership.kind``."""
-        return MEMBERSHIP.get(self.spec.membership.kind).factory(self)
+        """Build the membership provider named by ``spec.membership.kind``.
+
+        Under a multi-domain topology the provider is wrapped so every
+        node's view stays inside its own domain — cross-domain traffic goes
+        through bridge relays, never through gossip partner selection.
+        """
+        provider = MEMBERSHIP.get(self.spec.membership.kind).factory(self)
+        if self.domain_map is not None:
+            provider = domain_scoped_provider(provider, self.domain_map)
+        return provider
 
     def policy(self) -> FairnessPolicy:
         """Resolve the fairness policy named by ``spec.policy.kind``."""
@@ -519,6 +540,12 @@ def resolve_policy_kind(kind: str) -> FairnessPolicy:
 
 # -------------------------------------------------------------- build_stack
 
+#: System kinds a multi-domain topology can constrain: the gossip family,
+#: whose nodes sample partners through a membership provider the topology
+#: layer can scope.  Tree/DHT/broker baselines route by identifier, so a
+#: domain map would silently mean nothing there — reject instead.
+_TOPOLOGY_SYSTEM_KINDS = frozenset({"gossip", "fair-gossip", "pushpull-gossip", "lazy-push"})
+
 
 def build_stack(
     spec: StackSpec,
@@ -535,6 +562,13 @@ def build_stack(
     ``telemetry`` hands the caller's shared store to node-level instruments.
     Unknown kinds raise :class:`~repro.registry.base.RegistryError` listing
     the registered systems.
+
+    When ``spec.topology`` is enabled the returned system additionally
+    carries a ``topology`` attribute (a
+    :class:`~repro.topology.runtime.TopologyRuntime`): membership views are
+    scoped to intra-domain peers, the geo latency/loss matrix is installed
+    on the network as a per-link profile, and bridge relays federate topic
+    events across domain boundaries.
     """
     context = BuildContext(
         spec=spec,
@@ -545,4 +579,28 @@ def build_stack(
         live=live,
         telemetry=telemetry,
     )
-    return SYSTEMS.get(spec.system.kind).factory(context)
+    if spec.topology.enabled:
+        kind = spec.system.kind
+        if kind not in _TOPOLOGY_SYSTEM_KINDS:
+            raise RegistryError(
+                f"topology requires a gossip-family system, got system.kind {kind!r}"
+                f"{suggest(kind, _TOPOLOGY_SYSTEM_KINDS)}; topology-capable "
+                f"kinds: {', '.join(sorted(_TOPOLOGY_SYSTEM_KINDS))}"
+            )
+        try:
+            context.domain_map = compile_domain_map(spec.topology, context.node_ids)
+        except TopologyError as error:
+            raise RegistryError(f"invalid topology: {error}")
+    system = SYSTEMS.get(spec.system.kind).factory(context)
+    if context.domain_map is not None:
+        # The geo stream is named and dedicated, so installing a lossless
+        # profile draws nothing and perturbs no other stream.
+        geo = GeoLinkProfile(
+            context.domain_map, rng=scheduler.rng.stream("topology-geo")
+        )
+        network.set_link_profile(geo)
+        router = BridgeRouter(
+            network, context.domain_map, system.nodes, telemetry=telemetry
+        )
+        system.topology = TopologyRuntime(context.domain_map, router, geo)
+    return system

@@ -37,6 +37,7 @@ from ..faults.plan import (
     jsonify as _plan_jsonify,
     tuplify as _plan_tuplify,
 )
+from ..topology.spec import TopologyError, TopologySpec
 from .base import RegistryError, suggest
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "FaultPartitionSpec",
     "FaultPerturbSpec",
     "FaultsSpec",
+    "TopologySpec",
     "StackSpec",
     "FLAT_TO_PATH",
     "PATH_TO_FLAT",
@@ -358,6 +360,13 @@ FLAT_TO_PATH: Dict[str, str] = {
     "fault_perturb_latency": "faults.perturb.extra_latency",
     "fault_perturb_loss": "faults.perturb.loss_rate",
     "fault_plan": "faults.plan",
+    "topology_domains": "topology.domains",
+    "topology_bridges_per_domain": "topology.bridges_per_domain",
+    "topology_bridge_policy": "topology.bridge_policy",
+    "topology_cross_latency": "topology.cross_latency",
+    "topology_cross_loss": "topology.cross_loss",
+    "topology_assignment": "topology.assignment",
+    "topology_geo": "topology.geo",
 }
 
 #: Dotted spec path → flat config field (inverse of :data:`FLAT_TO_PATH`).
@@ -452,6 +461,11 @@ def parse_spec_overrides(pairs) -> Dict[str, object]:
                 "config field 'faults.plan' is structured and cannot be set from "
                 "the CLI; pass a plan file via --fault instead"
             )
+        if path in ("topology.assignment", "topology.geo"):
+            raise RegistryError(
+                f"config field {path!r} is structured and cannot be set from "
+                "the CLI; pass a topology file via --topology instead"
+            )
         overrides[path] = parse_scalar(raw.strip())
     return overrides
 
@@ -481,6 +495,10 @@ class StackSpec:
     #: Fault injection; part of the flat-config bijection (faults are
     #: physics and feed the result-cache identity, see :class:`FaultsSpec`).
     faults: FaultsSpec = field(default_factory=FaultsSpec)
+    #: Multi-domain topology; physics, part of the flat-config bijection
+    #: (omitted everywhere at its default so topology-free cache keys and
+    #: nested encodings are byte-identical to the pre-topology format).
+    topology: TopologySpec = field(default_factory=TopologySpec)
     #: Observability wiring; excluded from the flat-config bijection and
     #: therefore from the result-cache identity (see :class:`TelemetrySpec`).
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
@@ -517,6 +535,7 @@ class StackSpec:
         }
         fault_values.update(faults_data)  # the free-form "plan" entries
         values["faults"] = FaultsSpec(**fault_values)
+        values["topology"] = TopologySpec(**nested.pop("topology", {}))
         return StackSpec(**values)
 
     def to_config(self):
@@ -550,6 +569,10 @@ class StackSpec:
         # keep loading).
         if self.faults != FaultsSpec():
             payload["faults"] = self.faults.to_dict()
+        # Topology follows the faults rule: omitted at its default so
+        # topology-free specs keep their pre-topology byte encoding.
+        if self.topology != TopologySpec():
+            payload["topology"] = self.topology.to_dict()
         # Telemetry is observability-only; omit it at its default so dicts of
         # telemetry-free specs are byte-identical to the pre-telemetry format.
         if self.telemetry != TelemetrySpec():
@@ -585,6 +608,7 @@ class StackSpec:
             "loss_rate",
             "extra",
             "faults",
+            "topology",
             "telemetry",
         }
         unknown = [key for key in payload if key not in section_names | top_level]
@@ -597,12 +621,22 @@ class StackSpec:
         values: Dict[str, object] = {
             key: payload[key]
             for key in top_level
-            if key in payload and key not in ("extra", "faults", "telemetry")
+            if key in payload and key not in ("extra", "faults", "topology", "telemetry")
         }
         if "extra" in payload:
             values["extra"] = tuple((key, value) for key, value in payload["extra"])
         if "faults" in payload:
             values["faults"] = FaultsSpec.from_dict(payload["faults"])
+        if "topology" in payload:
+            entry = payload["topology"]
+            if not isinstance(entry, Mapping):
+                raise RegistryError(
+                    f"StackSpec section 'topology' must be a mapping, got {type(entry).__name__}"
+                )
+            try:
+                values["topology"] = TopologySpec.from_dict(entry)
+            except TopologyError as error:
+                raise RegistryError(f"invalid topology spec: {error}")
         if "telemetry" in payload:
             entry = payload["telemetry"]
             if not isinstance(entry, Mapping):
@@ -759,13 +793,23 @@ class StackSpec:
 
     def describe(self) -> str:
         """Readable ``section.field = value`` listing of the resolved spec."""
-        structured = ("extra", "faults.plan")
+        structured = ("extra", "faults.plan", "topology.assignment", "topology.geo")
         lines = [
             f"{path} = {self.get(path)!r}" for path in spec_paths() if path not in structured
         ]
         if self.faults.plan:
             lines.append(f"faults.plan = {len(self.faults.plan)} entr"
                          f"{'y' if len(self.faults.plan) == 1 else 'ies'}")
+        if self.topology.assignment:
+            lines.append(
+                f"topology.assignment = {len(self.topology.assignment)} entr"
+                f"{'y' if len(self.topology.assignment) == 1 else 'ies'}"
+            )
+        if self.topology.geo:
+            lines.append(
+                f"topology.geo = {len(self.topology.geo)} entr"
+                f"{'y' if len(self.topology.geo) == 1 else 'ies'}"
+            )
         if self.extra:
             lines.append(f"extra = {dict(self.extra)!r}")
         return "\n".join(lines)

@@ -206,6 +206,26 @@ def _resolve_spec(args: argparse.Namespace) -> StackSpec:
         spec = spec.with_value(
             "faults.plan", spec.get("faults.plan") + plan.entry_pairs()
         )
+    if getattr(args, "topology", None):
+        from ..registry.specs import FLAT_TO_PATH
+        from ..topology import TopologyError, TopologySpec
+
+        try:
+            topology = TopologySpec.from_file(args.topology)
+        except TopologyError as error:
+            raise SystemExit(str(error))
+        for flat_key, value in topology.to_flat().items():
+            spec = spec.with_value(FLAT_TO_PATH[flat_key], value)
+    if spec.topology.enabled:
+        # Compile once up front so a bad topology (too few nodes per domain,
+        # unknown ids in the assignment, ...) is a clean CLI error instead
+        # of a traceback out of host.start().
+        from ..topology import TopologyError, compile_domain_map
+
+        try:
+            compile_domain_map(spec.topology, spec.node_ids())
+        except TopologyError as error:
+            raise SystemExit(str(error))
     if spec.system.kind in _GOSSIP_KINDS:
         # Live clusters push far more events per time unit than the default
         # simulator scenarios; give gossip nodes the live buffer tuning.
@@ -336,6 +356,11 @@ def build_live_cluster(args: argparse.Namespace) -> LiveCluster:
     """
     if getattr(args, "scenario", None):
         return _build_from_spec(args)
+    if getattr(args, "topology", None):
+        raise SystemExit(
+            "--topology requires --scenario: multi-domain clusters are built "
+            "through the component registry (try --scenario smoke-domains)"
+        )
     for flag, default in LEGACY_FLAG_DEFAULTS.items():
         if getattr(args, flag, None) is None:
             setattr(args, flag, default)
@@ -560,6 +585,14 @@ def _add_common_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="drive the cluster with a declarative fault plan (crash/churn/"
         "partition/perturb entries; the same file runs on the simulator via "
         "'run --fault')",
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        metavar="TOPO.json",
+        help="with --scenario: load a multi-domain topology spec (domains, "
+        "bridges, geo latency/loss matrix); the same file drives the "
+        "simulator via 'run --topology'",
     )
     parser.add_argument(
         "--telemetry",

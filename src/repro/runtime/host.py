@@ -137,6 +137,9 @@ class NodeHost(DisseminationSystem):
         #: asyncio loop) and delegates the §2 API to it.
         self._spec = spec
         self.system: Optional[DisseminationSystem] = None
+        #: Topology runtime (domain map, bridge router, geo profile) of an
+        #: adopted multi-domain system; ``None`` on flat clusters.
+        self._topology = None
         if spec is not None:
             self.name = f"live-{spec.system.kind}"
         #: Fault injection: an explicit plan wins; otherwise the spec's
@@ -280,6 +283,7 @@ class NodeHost(DisseminationSystem):
             self.network,
             self.registry,
             plan,
+            domain_map=self._topology.domain_map if self._topology is not None else None,
             telemetry=self.telemetry,
         )
         self.fault_controller.start()
@@ -309,6 +313,7 @@ class NodeHost(DisseminationSystem):
         self.ledger = system.ledger
         self._delivery_log = system.delivery_log
         self.subscriptions = system.subscriptions
+        self._topology = getattr(system, "topology", None)
         if hasattr(system, "registry"):
             self.registry = system.registry
         self.nodes = dict(system.client_nodes())
@@ -420,6 +425,12 @@ class NodeHost(DisseminationSystem):
         latency_units = max(0.0, self.scheduler.now - event.published_at)
         self._latency_histogram.observe(latency_units)
         self._deliveries_counter.increment()
+        if self._topology is not None:
+            domain = self._topology.domain(node_id)
+            if domain is not None:
+                self.telemetry.observe(
+                    DELIVERY_LATENCY_METRIC, latency_units, domain=domain
+                )
 
     def _collect_telemetry(self) -> None:
         """Refresh derived gauges right before a snapshot is frozen."""

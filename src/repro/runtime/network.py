@@ -141,6 +141,7 @@ class RuntimeNetwork(FaultInjectionSurface):
             trace=trace,
         )
         self.stats.record_sent(message)
+        extra_latency = 0.0
         if not message.kind.startswith(CONTROL_PREFIX):
             if not self._same_partition(sender, recipient):
                 self.stats.dropped_partition += 1
@@ -150,15 +151,23 @@ class RuntimeNetwork(FaultInjectionSurface):
                 self.stats.lost += 1
                 self._trace_drop(message, "lost")
                 return message
+            extra_latency = self._perturb_latency
+            if self._link_profile is not None:
+                link_latency, link_loss = self._link_profile.effects(sender, recipient)
+                if link_loss > 0.0 and self._link_profile.rng.random() < link_loss:
+                    self.stats.lost += 1
+                    self._trace_drop(message, "lost")
+                    return message
+                extra_latency += link_latency
         body = encode_message(message)
-        if self._perturb_latency > 0.0 and not message.kind.startswith(CONTROL_PREFIX):
+        if extra_latency > 0.0:
             def deliver_later(recipient=recipient, body=body, message=message) -> None:
                 if not self._transport.send(recipient, body):
                     self.stats.dropped_dead += 1
                     self._trace_drop(message, "dead")
 
             self._scheduler.schedule(
-                self._perturb_latency, deliver_later, label="fault:extra-latency"
+                extra_latency, deliver_later, label="fault:extra-latency"
             )
         elif not self._transport.send(recipient, body):
             self.stats.dropped_dead += 1

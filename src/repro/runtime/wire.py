@@ -156,6 +156,9 @@ _CODECS: Dict[str, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {
     "gossip.lazy-reply": (_encode_gossip, _decode_gossip),
     "gossip.lazy-digest": (_encode_digest_message, _decode_digest_message),
     "gossip.lazy-request": (_encode_pull_request, _decode_pull_request),
+    # Bridge relays carry a plain gossip payload across domain boundaries
+    # (see repro.topology.bridge) under their own kind.
+    "topology.bridge": (_encode_gossip, _decode_gossip),
     "membership.cyclon.request": (_encode_shuffle, _decode_shuffle),
     "membership.cyclon.reply": (_encode_shuffle, _decode_shuffle),
     "membership.lpbcast.digest": (_encode_membership_digest, _decode_membership_digest),

@@ -32,7 +32,25 @@ __all__ = [
     "FaultInjectionSurface",
     "Network",
     "NetworkStats",
+    "validate_link_perturbation",
 ]
+
+
+def validate_link_perturbation(
+    extra_latency: float, loss_rate: float, rng: Optional[random.Random]
+) -> None:
+    """Validate one link degradation triple (shared by every actuator).
+
+    Both the global :meth:`FaultInjectionSurface.set_perturbation` and the
+    per-link :class:`~repro.topology.geo.GeoLinkProfile` route through this
+    one check, so "what is a legal latency/loss pair" has a single answer.
+    """
+    if extra_latency < 0:
+        raise ValueError("extra_latency must be non-negative")
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError("loss_rate must be within [0, 1]")
+    if loss_rate > 0 and rng is None:
+        raise ValueError("loss perturbation requires an rng stream")
 
 
 class FaultInjectionSurface:
@@ -53,6 +71,7 @@ class FaultInjectionSurface:
         self._perturb_latency = 0.0
         self._perturb_loss = 0.0
         self._perturb_rng: Optional[random.Random] = None
+        self._link_profile = None
 
     # ----------------------------------------------------------- partitions
 
@@ -90,21 +109,40 @@ class FaultInjectionSurface:
         time units in both worlds (the live scheduler's wall clock maps
         them onto real seconds).
         """
-        if extra_latency < 0:
-            raise ValueError("extra_latency must be non-negative")
-        if not 0.0 <= loss_rate <= 1.0:
-            raise ValueError("loss_rate must be within [0, 1]")
-        if loss_rate > 0 and rng is None:
-            raise ValueError("loss perturbation requires an rng stream")
+        validate_link_perturbation(extra_latency, loss_rate, rng)
         self._perturb_latency = float(extra_latency)
         self._perturb_loss = float(loss_rate)
         self._perturb_rng = rng
 
     def clear_perturbation(self) -> None:
-        """Restore the unperturbed link behaviour."""
+        """Restore the unperturbed link behaviour.
+
+        Leaves any installed link profile (a run's *geography*) in place:
+        the fault controller clears perturbations on teardown, and that
+        must not strip the topology's physics.
+        """
         self._perturb_latency = 0.0
         self._perturb_loss = 0.0
         self._perturb_rng = None
+
+    # ------------------------------------------------------- per-link profile
+
+    def set_link_profile(self, profile) -> None:
+        """Install per-link latency/loss effects (the topology geo matrix).
+
+        ``profile`` is duck-typed: ``effects(sender, recipient)`` returning
+        ``(extra_latency, loss_rate)`` plus an ``rng`` attribute for loss
+        draws (see :class:`~repro.topology.geo.GeoLinkProfile`, which runs
+        every resolved link through :func:`validate_link_perturbation` —
+        the same code path the global actuator uses).  Unlike the global
+        perturbation this is installed at build time and survives fault
+        windows; ``None`` while off, so the flat layout costs nothing.
+        """
+        self._link_profile = profile
+
+    def clear_link_profile(self) -> None:
+        """Remove the per-link profile (back to flat physics)."""
+        self._link_profile = None
 
 
 @dataclass
@@ -356,8 +394,16 @@ class Network(FaultInjectionSurface):
             self.stats.lost += 1
             self._trace_drop(message, "lost")
             return message
+        extra_latency = self._perturb_latency
+        if self._link_profile is not None:
+            link_latency, link_loss = self._link_profile.effects(sender, recipient)
+            if link_loss > 0.0 and self._link_profile.rng.random() < link_loss:
+                self.stats.lost += 1
+                self._trace_drop(message, "lost")
+                return message
+            extra_latency += link_latency
 
-        latency = self._latency.sample(rng, sender, recipient) + self._perturb_latency
+        latency = self._latency.sample(rng, sender, recipient) + extra_latency
         self._simulator.schedule(
             latency, lambda: self._deliver(message), label=f"deliver:{kind}"
         )

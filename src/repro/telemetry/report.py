@@ -239,6 +239,81 @@ def _recovery_table(snapshots: Sequence[TelemetrySnapshot]):
     return table
 
 
+#: Delivery-latency histograms the domain table understands (simulator and
+#: live-runtime spellings).
+_DOMAIN_LATENCY_METRICS = ("sim.delivery_latency", "rt.delivery_latency_units")
+
+
+def _domain_table(snapshots: Sequence[TelemetrySnapshot]):
+    """Per-domain delivery table for multi-domain runs, or ``None`` without.
+
+    Multi-domain stacks (see :mod:`repro.topology`) emit ``domain=``-tagged
+    delivery-latency histograms plus ``bridge.relayed`` / ``bridge.absorbed``
+    / ``bridge.duplicate`` counters tagged with the egress/ingress domain;
+    this renders one row per domain and a closing cross-domain totals row,
+    so intra- vs cross-domain behaviour reads straight off the report.
+    """
+    from ..analysis.tables import Table
+
+    final = snapshots[-1]
+    latency: Dict[object, object] = {}
+    for name, tags, state in final.histograms:
+        tag_map = dict(tags)
+        if name in _DOMAIN_LATENCY_METRICS and "domain" in tag_map:
+            latency[tag_map["domain"]] = state.summary()
+    bridges: Dict[object, Dict[str, float]] = {}
+    for name, tags, value in final.counters:
+        if name in ("bridge.relayed", "bridge.absorbed", "bridge.duplicate"):
+            domain = dict(tags).get("domain")
+            if domain is not None:
+                bridges.setdefault(domain, {})[name] = value
+    domains = sorted(set(latency) | set(bridges))
+    if not domains:
+        return None
+    table = Table(
+        [
+            "domain",
+            "deliveries",
+            "mean_latency",
+            "p95_latency",
+            "relayed_out",
+            "absorbed_in",
+            "duplicates",
+        ],
+        title="per-domain deliveries + cross-domain bridge traffic (final snapshot)",
+    )
+    totals = {"deliveries": 0, "relayed": 0.0, "absorbed": 0.0, "duplicates": 0.0}
+    for domain in domains:
+        summary = latency.get(domain)
+        counters = bridges.get(domain, {})
+        relayed = counters.get("bridge.relayed", 0.0)
+        absorbed = counters.get("bridge.absorbed", 0.0)
+        duplicates = counters.get("bridge.duplicate", 0.0)
+        totals["deliveries"] += summary.count if summary is not None else 0
+        totals["relayed"] += relayed
+        totals["absorbed"] += absorbed
+        totals["duplicates"] += duplicates
+        table.add_row(
+            domain=domain,
+            deliveries=summary.count if summary is not None else 0,
+            mean_latency=summary.mean if summary is not None else 0.0,
+            p95_latency=summary.p95 if summary is not None else 0.0,
+            relayed_out=relayed,
+            absorbed_in=absorbed,
+            duplicates=duplicates,
+        )
+    table.add_row(
+        domain="(cross-domain)",
+        deliveries=totals["deliveries"],
+        mean_latency="",
+        p95_latency="",
+        relayed_out=totals["relayed"],
+        absorbed_in=totals["absorbed"],
+        duplicates=totals["duplicates"],
+    )
+    return table
+
+
 def render_snapshots(snapshots: Sequence[TelemetrySnapshot], max_rows: int = 10) -> str:
     """Time-series + final-state tables for a snapshot stream."""
     from ..analysis.fairness_report import fairness_table_from_snapshot
@@ -272,6 +347,10 @@ def render_snapshots(snapshots: Sequence[TelemetrySnapshot], max_rows: int = 10)
     recovery = _recovery_table(snapshots)
     if recovery is not None:
         sections.append(recovery.render())
+
+    domain = _domain_table(snapshots)
+    if domain is not None:
+        sections.append(domain.render())
 
     final = snapshots[-1]
     if final.histograms:

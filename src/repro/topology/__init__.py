@@ -1,0 +1,49 @@
+"""Hierarchical multi-domain topology: domains, bridges, and geo links.
+
+The paper evaluates gossip on one flat population; the road to "millions of
+users" shards that population into *domains* (datacenters, regions).  This
+package is the declarative layer that makes a domain layout a first-class,
+cache-keyed part of an experiment:
+
+* :class:`~repro.topology.spec.TopologySpec` — JSON-round-trippable
+  description: domain count (or an explicit node→domain assignment), a
+  per-domain-pair geo latency/loss matrix, and the bridge selection policy;
+* :class:`~repro.topology.domains.DomainMap` — the compiled form: member
+  lists, deterministic sha256-ranked bridge sets, and resolved link
+  effects for every domain pair;
+* :class:`~repro.topology.geo.GeoLinkProfile` — installs the matrix on a
+  network fabric as per-link latency/loss (both the discrete-event
+  :class:`~repro.sim.network.Network` and the live
+  :class:`~repro.runtime.network.RuntimeNetwork` consult it on their send
+  paths);
+* :class:`~repro.topology.membership.DomainScopedMembership` — wraps any
+  membership component so peer sampling stays intra-domain;
+* :class:`~repro.topology.bridge.BridgeRouter` — re-publishes topic events
+  across domain boundaries through designated bridge nodes, with
+  duplicate suppression and ``bridge.*`` telemetry.
+
+Everything here is deterministic: bridge and relay selection hash event and
+domain names with sha256 (never Python's salted ``hash``), and a topology-free
+spec leaves every network draw sequence byte-identical to the flat layout.
+"""
+
+from .bridge import BRIDGE_MESSAGE_KIND, BridgeRouter
+from .domains import DomainMap, compile_domain_map
+from .geo import GeoLinkProfile
+from .membership import DomainScopedMembership, domain_scoped_provider
+from .runtime import TopologyRuntime
+from .spec import TOPOLOGY_SCHEMA, TopologyError, TopologySpec
+
+__all__ = [
+    "TOPOLOGY_SCHEMA",
+    "TopologyError",
+    "TopologySpec",
+    "DomainMap",
+    "compile_domain_map",
+    "GeoLinkProfile",
+    "DomainScopedMembership",
+    "domain_scoped_provider",
+    "BridgeRouter",
+    "BRIDGE_MESSAGE_KIND",
+    "TopologyRuntime",
+]

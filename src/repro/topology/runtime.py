@@ -1,0 +1,34 @@
+"""Per-run topology state attached to a built system.
+
+:func:`~repro.registry.builtins.build_stack` compiles the spec, installs the
+geo profile, scopes membership, and starts the bridge router; the resulting
+handles are bundled into a :class:`TopologyRuntime` and attached to the
+system object (``system.topology``).  Downstream consumers reach the
+compiled map through it: the fault layer resolves domain-level partitions,
+the telemetry collectors tag per-node instruments with their domain, and the
+report layer labels its per-domain tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .bridge import BridgeRouter
+from .domains import DomainMap
+from .geo import GeoLinkProfile
+
+__all__ = ["TopologyRuntime"]
+
+
+@dataclass
+class TopologyRuntime:
+    """Handles of an active multi-domain topology on one run."""
+
+    domain_map: DomainMap
+    router: BridgeRouter
+    geo: Optional[GeoLinkProfile] = None
+
+    def domain(self, node_id: str) -> Optional[str]:
+        """Domain of ``node_id`` (``None`` outside the map)."""
+        return self.domain_map.domain(node_id)

@@ -1,0 +1,267 @@
+"""Declarative topology specification.
+
+:class:`TopologySpec` is the spec-side face of the topology layer, modeled
+on :class:`~repro.registry.specs.FaultsSpec`: a frozen dataclass whose every
+field maps onto a flat ``topology_*``
+:class:`~repro.experiments.config.ExperimentConfig` field (topology is
+*physics* and therefore feeds the result-cache identity), with a JSON codec
+for ``--topology topo.json`` files.  A spec at its default (``domains=0``)
+means "flat population" and is omitted from every serialised form, so
+topology-free configs hash byte-identically to their pre-topology selves.
+
+This module is dependency-light on purpose (stdlib only): the registry's
+spec layer imports it, and nothing here may pull protocol code into that
+import graph.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["TOPOLOGY_SCHEMA", "TopologyError", "TopologySpec", "BRIDGE_POLICIES"]
+
+#: Schema tag carried by standalone ``--topology`` files.
+TOPOLOGY_SCHEMA = "topology/v1"
+
+#: Known bridge selection policies: ``sha256`` ranks each domain's members
+#: by ``sha256(domain + "/" + node)`` (stable, seed-independent, and
+#: uncorrelated with node naming); ``lexical`` takes the first members in
+#: sorted-id order (predictable, handy in tests and docs).
+BRIDGE_POLICIES: Tuple[str, ...] = ("sha256", "lexical")
+
+
+class TopologyError(ValueError):
+    """Invalid topology specification or compilation input."""
+
+
+def _suggest(name: str, candidates) -> str:
+    matches = difflib.get_close_matches(str(name), [str(c) for c in candidates], n=3, cutoff=0.5)
+    if not matches:
+        return ""
+    return f" — did you mean {', '.join(repr(match) for match in matches)}?"
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """How a population is sharded into domains and federated by bridges.
+
+    Attributes
+    ----------
+    domains:
+        Number of domains; 0 (the default) disables the topology layer
+        entirely.  Auto-generated domains are named ``d0`` ... ``dN-1`` and
+        filled with contiguous blocks of the sorted node ids.
+    bridges_per_domain:
+        How many designated bridge (relay) nodes each domain runs.
+    bridge_policy:
+        Bridge selection policy (see :data:`BRIDGE_POLICIES`).
+    cross_latency / cross_loss:
+        Default extra latency / Bernoulli loss applied to every
+        cross-domain link not covered by an explicit ``geo`` entry.
+        Intra-domain links default to no extra effects.
+    assignment:
+        Optional explicit ``(node, domain)`` pairs; when present it defines
+        the domain layout (and every node must appear exactly once).
+        Structured — set via ``--topology topo.json``, not ``--set``.
+    geo:
+        Per-pair matrix entries ``(domain_a, domain_b, latency, loss)``
+        overriding the defaults for that unordered pair (``a == b`` entries
+        degrade intra-domain links).  Structured, like ``assignment``.
+    """
+
+    domains: int = 0
+    bridges_per_domain: int = 1
+    bridge_policy: str = "sha256"
+    cross_latency: float = 0.0
+    cross_loss: float = 0.0
+    assignment: Tuple[Tuple[str, str], ...] = ()
+    geo: Tuple[Tuple[str, str, float, float], ...] = ()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec describes a non-flat (multi-domain) layout."""
+        return self.domains > 0 or bool(self.assignment)
+
+    # ------------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        """Check field ranges and shapes; raise :class:`TopologyError`."""
+        if self.domains < 0:
+            raise TopologyError(f"topology.domains must be non-negative, got {self.domains}")
+        if self.bridges_per_domain < 1:
+            raise TopologyError(
+                f"topology.bridges_per_domain must be at least 1, got {self.bridges_per_domain}"
+            )
+        if self.bridge_policy not in BRIDGE_POLICIES:
+            raise TopologyError(
+                f"unknown topology.bridge_policy {self.bridge_policy!r}"
+                f"{_suggest(self.bridge_policy, BRIDGE_POLICIES)}; "
+                f"known policies: {', '.join(BRIDGE_POLICIES)}"
+            )
+        if self.cross_latency < 0:
+            raise TopologyError(
+                f"topology.cross_latency must be non-negative, got {self.cross_latency}"
+            )
+        if not 0.0 <= self.cross_loss <= 1.0:
+            raise TopologyError(
+                f"topology.cross_loss must be within [0, 1], got {self.cross_loss}"
+            )
+        seen_nodes = set()
+        for pair in self.assignment:
+            if len(pair) != 2 or not all(isinstance(part, str) for part in pair):
+                raise TopologyError(
+                    f"topology.assignment entries must be (node, domain) string pairs, got {pair!r}"
+                )
+            node = pair[0]
+            if node in seen_nodes:
+                raise TopologyError(f"node {node!r} assigned to more than one domain")
+            seen_nodes.add(node)
+        for entry in self.geo:
+            if len(entry) != 4:
+                raise TopologyError(
+                    "topology.geo entries must be (domain_a, domain_b, latency, loss) "
+                    f"tuples, got {entry!r}"
+                )
+            domain_a, domain_b, latency, loss = entry
+            if not isinstance(domain_a, str) or not isinstance(domain_b, str):
+                raise TopologyError(f"topology.geo domains must be strings, got {entry!r}")
+            if not isinstance(latency, (int, float)) or isinstance(latency, bool) or latency < 0:
+                raise TopologyError(
+                    f"topology.geo latency must be a non-negative number, got {latency!r}"
+                )
+            if (
+                not isinstance(loss, (int, float))
+                or isinstance(loss, bool)
+                or not 0.0 <= float(loss) <= 1.0
+            ):
+                raise TopologyError(f"topology.geo loss must be within [0, 1], got {loss!r}")
+
+    # ------------------------------------------------------------ dict codecs
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested JSON form; fields at their defaults are omitted."""
+        payload: Dict[str, object] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if value == spec_field.default:
+                continue
+            if spec_field.name in ("assignment", "geo"):
+                payload[spec_field.name] = [list(entry) for entry in value]
+            else:
+                payload[spec_field.name] = value
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "TopologySpec":
+        """Rebuild a spec; unknown fields raise with a did-you-mean hint."""
+        if not isinstance(payload, Mapping):
+            raise TopologyError(
+                f"topology spec must be a mapping, got {type(payload).__name__}"
+            )
+        known = [spec_field.name for spec_field in fields(TopologySpec)]
+        payload = {key: value for key, value in payload.items() if key != "schema"}
+        unknown = [key for key in payload if key not in known]
+        if unknown:
+            raise TopologyError(
+                f"unknown topology spec fields {sorted(unknown)}"
+                f"{_suggest(unknown[0], known)}; known fields: {', '.join(sorted(known))}"
+            )
+        values: Dict[str, object] = {}
+        for key in ("domains", "bridges_per_domain"):
+            if key in payload:
+                value = payload[key]
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise TopologyError(
+                        f"topology spec field {key!r} must be an integer, got {value!r}"
+                    )
+                values[key] = value
+        if "bridge_policy" in payload:
+            value = payload["bridge_policy"]
+            if not isinstance(value, str):
+                raise TopologyError(
+                    f"topology spec field 'bridge_policy' must be a string, got {value!r}"
+                )
+            values["bridge_policy"] = value
+        for key in ("cross_latency", "cross_loss"):
+            if key in payload:
+                value = payload[key]
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise TopologyError(
+                        f"topology spec field {key!r} must be a number, got {value!r}"
+                    )
+                values[key] = float(value)
+        if "assignment" in payload:
+            entries = payload["assignment"]
+            if isinstance(entries, str) or not isinstance(entries, (list, tuple)):
+                raise TopologyError(
+                    f"topology spec field 'assignment' must be a list of [node, domain] "
+                    f"pairs, got {entries!r}"
+                )
+            assignment = []
+            for entry in entries:
+                if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                    raise TopologyError(
+                        f"topology.assignment entries must be [node, domain] pairs, got {entry!r}"
+                    )
+                assignment.append((str(entry[0]), str(entry[1])))
+            values["assignment"] = tuple(assignment)
+        if "geo" in payload:
+            entries = payload["geo"]
+            if isinstance(entries, str) or not isinstance(entries, (list, tuple)):
+                raise TopologyError(
+                    "topology spec field 'geo' must be a list of "
+                    f"[domain_a, domain_b, latency, loss] entries, got {entries!r}"
+                )
+            geo = []
+            for entry in entries:
+                if not isinstance(entry, (list, tuple)) or len(entry) != 4:
+                    raise TopologyError(
+                        "topology.geo entries must be [domain_a, domain_b, latency, loss], "
+                        f"got {entry!r}"
+                    )
+                domain_a, domain_b, latency, loss = entry
+                for number in (latency, loss):
+                    if isinstance(number, bool) or not isinstance(number, (int, float)):
+                        raise TopologyError(
+                            f"topology.geo latency/loss must be numbers, got {entry!r}"
+                        )
+                geo.append((str(domain_a), str(domain_b), float(latency), float(loss)))
+            values["geo"] = tuple(geo)
+        spec = TopologySpec(**values)
+        spec.validate()
+        return spec
+
+    @staticmethod
+    def from_file(path: str) -> "TopologySpec":
+        """Load a spec from a ``--topology`` JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise TopologyError(f"malformed topology file {path!r}: {error}") from None
+        if not isinstance(payload, Mapping):
+            raise TopologyError(f"topology file {path!r} must hold a JSON object")
+        schema = payload.get("schema")
+        if schema is not None and schema != TOPOLOGY_SCHEMA:
+            raise TopologyError(
+                f"topology file {path!r} has schema {schema!r} (expected {TOPOLOGY_SCHEMA!r})"
+            )
+        return TopologySpec.from_dict(payload)
+
+    def to_file_dict(self) -> Dict[str, object]:
+        """Standalone-file form: :meth:`to_dict` plus the schema tag."""
+        payload: Dict[str, object] = {"schema": TOPOLOGY_SCHEMA}
+        payload.update(self.to_dict())
+        return payload
+
+    # ------------------------------------------------------------ flat fields
+
+    def to_flat(self) -> Dict[str, object]:
+        """The spec as flat ``topology_*`` config overrides (all fields)."""
+        return {
+            f"topology_{spec_field.name}": getattr(self, spec_field.name)
+            for spec_field in fields(self)
+        }

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from .spans import (
+    BRIDGE_HOP,
     DELIVER,
     DIGEST_ADVERT,
     DROP,
@@ -105,7 +106,7 @@ class TraceAnalysis:
 
     def totals(self) -> Dict[str, float]:
         """Aggregate dissemination numbers over every traced event."""
-        deliveries = duplicates = drops = recoveries = relays = adverts = 0
+        deliveries = duplicates = drops = recoveries = relays = adverts = bridge_hops = 0
         hop_counts: List[int] = []
         latencies: List[float] = []
         drop_reasons: Dict[str, int] = {}
@@ -115,6 +116,7 @@ class TraceAnalysis:
             recoveries += event.kind_count(PULL_RECOVER)
             relays += event.kind_count(RELAY)
             adverts += event.kind_count(DIGEST_ADVERT)
+            bridge_hops += event.kind_count(BRIDGE_HOP)
             latencies.extend(event.delivery_latencies())
             for span in event.spans:
                 if span.kind == DELIVER:
@@ -140,6 +142,7 @@ class TraceAnalysis:
             "redundancy_ratio": duplicates / deliveries if deliveries else 0.0,
             "relays": relays,
             "digest_adverts": adverts,
+            "bridge_hops": bridge_hops,
             "drops": drops,
             "pull_recoveries": recoveries,
             "deliveries_via_eager": eager,
@@ -190,7 +193,7 @@ def _span_line(span: SpanRecord) -> str:
     if span.kind in (RECEIVE, DUPLICATE, PULL_RECOVER, DROP):
         parts.append(f"hop {span.hops}")
     extras = []
-    for key in ("peer", "via", "reason", "message_kind", "fanout"):
+    for key in ("peer", "via", "reason", "message_kind", "fanout", "domain", "to_domain"):
         if key in span.details:
             extras.append(f"{key}={span.details[key]}")
     if extras:

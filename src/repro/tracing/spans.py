@@ -31,6 +31,7 @@ __all__ = [
     "PULL_RECOVER",
     "DELIVER",
     "DROP",
+    "BRIDGE_HOP",
     "SpanRecord",
     "TraceSink",
     "MemoryTraceSink",
@@ -51,6 +52,7 @@ DIGEST_ADVERT = "digest-advert"  # the id was advertised in a lazy digest
 PULL_RECOVER = "pull-recover"  # first sight of the payload via pull reply
 DELIVER = "deliver"            # the application callback fired
 DROP = "drop"                  # the network dropped a traced frame (loss/partition/dead)
+BRIDGE_HOP = "topology.bridge"  # a bridge node relayed the event across a domain boundary
 
 SPAN_KINDS = (
     PUBLISH,
@@ -61,6 +63,7 @@ SPAN_KINDS = (
     PULL_RECOVER,
     DELIVER,
     DROP,
+    BRIDGE_HOP,
 )
 
 
