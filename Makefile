@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-rt bench-metrics bench-faults bench-lazy bench-trace bench-domains serve-smoke serve-scenario-smoke registry-smoke report-smoke fault-smoke lazy-smoke trace-smoke domains-smoke clean-cache
+.PHONY: test bench bench-smoke bench-rt bench-metrics bench-faults bench-lazy bench-trace bench-domains bench-campaign serve-smoke serve-scenario-smoke registry-smoke report-smoke fault-smoke lazy-smoke trace-smoke domains-smoke campaign-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -110,6 +110,20 @@ domains-smoke:
 # writes BENCH_domains.json (cross-domain delivery must survive the heal).
 bench-domains:
 	$(PYTHON) -m pytest benchmarks/bench_domains.py -q -s
+
+# Campaign round trip: run the two-target mini campaign cold, then warm
+# (the second pass must be 100% cache hits), inspect staleness, and render
+# the run manifest through the report CLI.
+campaign-smoke:
+	$(PYTHON) -m repro campaign examples/mini_campaign.json --cache-dir .ci-cache --out-dir out/campaign/mini
+	$(PYTHON) -m repro campaign examples/mini_campaign.json --cache-dir .ci-cache --out-dir out/campaign/mini | grep "computed: 0"
+	$(PYTHON) -m repro campaign status examples/mini_campaign.json --cache-dir .ci-cache
+	$(PYTHON) -m repro report out/campaign/mini/manifest.json
+
+# Campaign incrementality: writes BENCH_campaign.json (cold vs warm wall
+# time and the warm per-point scheduling overhead; warm computes nothing).
+bench-campaign:
+	$(PYTHON) -m pytest benchmarks/bench_campaign.py -q -s
 
 # BENCH_metrics_overhead.json is tracked (it seeds the perf trajectory), so
 # clean-cache leaves it alone; re-run `make bench-metrics` to refresh it.

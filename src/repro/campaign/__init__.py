@@ -1,0 +1,48 @@
+"""Dependency-driven experiment campaigns (the "make paper" layer).
+
+A :class:`CampaignSpec` declares the paper's artifacts (*targets*) and the
+experiment batches they consume (*services*), wired together with
+``ALL``/``SEQ``/``ONE`` connectors and arbitrary ``after`` edges.
+:func:`compile_graph` turns the spec into a topologically ordered DAG, and
+:class:`CampaignExecutor` runs it incrementally: per-point staleness comes
+from the content-addressed result cache, so a warm campaign re-runs
+nothing and a single edited parameter re-runs exactly its downstream
+points.  Every run writes a :class:`RunManifest` with per-target
+provenance.  ``python -m repro campaign`` is the CLI surface.
+"""
+
+from .executor import CampaignExecutor, expand_service
+from .graph import CampaignGraph, compile_graph
+from .manifest import (
+    MANIFEST_SCHEMA,
+    PointRecord,
+    RunManifest,
+    ServiceRecord,
+    TargetRecord,
+)
+from .spec import (
+    CAMPAIGN_SCHEMA,
+    CampaignError,
+    CampaignSpec,
+    Connector,
+    ServiceSpec,
+    TargetSpec,
+)
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "CampaignError",
+    "CampaignExecutor",
+    "CampaignGraph",
+    "CampaignSpec",
+    "Connector",
+    "PointRecord",
+    "RunManifest",
+    "ServiceRecord",
+    "ServiceSpec",
+    "TargetRecord",
+    "TargetSpec",
+    "compile_graph",
+    "expand_service",
+]

@@ -1,0 +1,149 @@
+"""Compile a :class:`~repro.campaign.spec.CampaignSpec` into a dependency graph.
+
+The graph has one node per service and per target.  Edges come from three
+places:
+
+* a target depends on every service its connector tree mentions;
+* a ``SEQ`` connector adds ordering edges between consecutive children
+  (child *i+1* depends on child *i*);
+* a service's ``after`` list adds arbitrary extra edges.
+
+``ONE`` connectors add the same structural edges as ``ALL`` — which
+alternative actually *runs* is an execution-time decision (the executor
+demands one alternative at a time and short-circuits on the first fully
+cached one), so the static graph deliberately over-approximates.
+
+Compilation topologically sorts the nodes (stable: spec declaration order
+breaks ties) and raises :class:`~repro.campaign.spec.CampaignError` on
+cycles, naming the nodes involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .spec import CampaignError, CampaignSpec, Connector
+
+__all__ = ["CampaignGraph", "compile_graph"]
+
+
+@dataclass(frozen=True)
+class CampaignGraph:
+    """Immutable compiled dependency graph of one campaign.
+
+    ``dependencies`` maps every node to the (ordered, de-duplicated) nodes
+    it waits for; ``order`` is a deterministic topological ordering of all
+    nodes; ``seq_edges`` records which dependency edges exist purely for
+    ``SEQ`` sequencing (useful for display).
+    """
+
+    spec: CampaignSpec
+    dependencies: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    order: Tuple[str, ...]
+    seq_edges: Tuple[Tuple[str, str], ...]
+
+    def dependency_map(self) -> Dict[str, Tuple[str, ...]]:
+        return dict(self.dependencies)
+
+    def dependencies_of(self, node: str) -> Tuple[str, ...]:
+        return self.dependency_map().get(node, ())
+
+    def ancestors_of(self, node: str) -> Set[str]:
+        """Every node reachable backwards from ``node`` (excluding itself)."""
+        deps = self.dependency_map()
+        seen: Set[str] = set()
+        frontier = list(deps.get(node, ()))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(deps.get(current, ()))
+        return seen
+
+    def restricted_to(self, targets: List[str]) -> Set[str]:
+        """The node subset needed to build ``targets`` (them + ancestors)."""
+        needed: Set[str] = set()
+        for target in targets:
+            needed.add(target)
+            needed |= self.ancestors_of(target)
+        return needed
+
+
+def _connector_edges(
+    target: str, connector: Connector
+) -> Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]:
+    """``(dependency edges, SEQ-only edges)`` implied by one input tree."""
+    edges: List[Tuple[str, str]] = []
+    seq_edges: List[Tuple[str, str]] = []
+
+    def last_services(child) -> List[str]:
+        """Services a SEQ successor must wait for (the child's leaves)."""
+        if isinstance(child, Connector):
+            return child.service_names()
+        return [child]
+
+    def walk(connector: Connector) -> None:
+        for child in connector.children:
+            if isinstance(child, Connector):
+                walk(child)
+            else:
+                edges.append((target, child))
+        if connector.op == "seq":
+            for earlier, later in zip(connector.children, connector.children[1:]):
+                for before in last_services(earlier):
+                    for after in last_services(later):
+                        edges.append((after, before))
+                        seq_edges.append((after, before))
+
+    walk(connector)
+    return edges, seq_edges
+
+
+def compile_graph(spec: CampaignSpec) -> CampaignGraph:
+    """Build and topologically sort the dependency graph; raises on cycles."""
+    nodes = spec.service_names() + spec.target_names()
+    dependencies: Dict[str, List[str]] = {node: [] for node in nodes}
+    seq_edges: List[Tuple[str, str]] = []
+
+    def add_edge(node: str, depends_on: str) -> None:
+        if depends_on != node and depends_on not in dependencies[node]:
+            dependencies[node].append(depends_on)
+
+    for service in spec.services:
+        for dependency in service.after:
+            add_edge(service.name, dependency)
+    for target in spec.targets:
+        edges, seqs = _connector_edges(target.name, target.inputs)
+        for node, depends_on in edges:
+            add_edge(node, depends_on)
+        seq_edges.extend(seqs)
+
+    # Kahn's algorithm with a stable frontier: nodes whose dependencies are
+    # all placed are appended in spec declaration order, so the ordering is
+    # deterministic for a given spec.
+    placed: List[str] = []
+    placed_set: Set[str] = set()
+    remaining = list(nodes)
+    while remaining:
+        progressed = False
+        for node in list(remaining):
+            if all(dep in placed_set for dep in dependencies[node]):
+                placed.append(node)
+                placed_set.add(node)
+                remaining.remove(node)
+                progressed = True
+        if not progressed:
+            raise CampaignError(
+                f"campaign {spec.name!r} has a dependency cycle involving "
+                f"{sorted(remaining)}"
+            )
+    return CampaignGraph(
+        spec=spec,
+        dependencies=tuple(
+            (node, tuple(dependencies[node])) for node in nodes
+        ),
+        order=tuple(placed),
+        seq_edges=tuple(dict.fromkeys(seq_edges)),
+    )

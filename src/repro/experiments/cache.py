@@ -29,16 +29,27 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from .. import __version__ as _CODE_VERSION
 from .config import ExperimentConfig
 from .runner import ExperimentResult
 
-__all__ = ["ARTIFACT_SCHEMA", "DEFAULT_CACHE_DIR", "config_hash", "ResultCache"]
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "config_hash",
+    "CacheStats",
+    "ResultCache",
+]
+
+_logger = logging.getLogger(__name__)
 
 #: Version of the on-disk artifact layout; bump when ``to_dict`` output
 #: changes incompatibly.  Old artifacts then simply stop matching and are
@@ -57,38 +68,151 @@ def config_hash(config: ExperimentConfig) -> str:
     return hashlib.sha256(tagged.encode("utf-8")).hexdigest()
 
 
+@dataclass
+class CacheStats:
+    """Running counters of one :class:`ResultCache` instance.
+
+    ``corrupt`` counts entries that existed on disk but failed to parse or
+    decode — each one is logged, treated as a miss, and overwritten by the
+    next store; the campaign manifest records the count as the
+    ``cache.corrupt`` telemetry counter does for live telemetry.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stores": self.stores,
+        }
+
+
 class ResultCache:
     """Load and store experiment results keyed by config hash.
 
     The cache is safe against corrupt or stale files: anything that fails to
     parse or fails the schema check reads as a miss and is overwritten by the
-    next store.  Writes are atomic (temp file + rename) so two processes of a
-    parallel sweep racing on the same point cannot leave a torn artifact.
+    next store.  A *corrupt* entry (the file exists but is truncated or
+    undecodable) is additionally counted in ``stats.corrupt``, logged, and —
+    when a :class:`~repro.telemetry.Telemetry` store is attached via
+    ``telemetry=`` — recorded as a ``cache.corrupt`` counter.  Writes are
+    atomic (temp file + rename) so two processes of a parallel sweep racing
+    on the same point cannot leave a torn artifact.
+
+    Every stored entry carries a ``provenance`` block (the config dict, the
+    package version, and a creation timestamp) alongside the result payload,
+    so campaign manifests and ``repro campaign status`` can attribute cache
+    contents without re-hashing anything.
     """
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    def __init__(self, directory: Optional[str] = None, telemetry=None) -> None:
         resolved = directory or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
         self.directory = Path(resolved)
+        self.stats = CacheStats()
+        self.telemetry = telemetry
 
     def path_for(self, config: ExperimentConfig) -> Path:
         """Artifact path a result for ``config`` would be stored at."""
         key = config_hash(config)
         return self.directory / key[:2] / f"{key}.json"
 
-    def load(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
-        """Return the cached result for ``config``, or ``None`` on a miss."""
-        path = self.path_for(config)
+    def _read(self, path: Path, count: bool = True) -> Optional[dict]:
+        """Parse one entry; ``None`` on miss, counting corruption as a miss."""
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            if count:
+                self.stats.misses += 1
             return None
-        if not isinstance(payload, dict) or payload.get("schema") != ARTIFACT_SCHEMA:
+        except (OSError, ValueError) as error:
+            if count:
+                self._corrupt(path, error)
+            return None
+        if not isinstance(payload, dict):
+            if count:
+                self._corrupt(path, "not a JSON object")
+            return None
+        if payload.get("schema") != ARTIFACT_SCHEMA:
+            # A different schema is a deliberate layout change, not damage:
+            # the entry simply no longer matches and will be recomputed.
+            if count:
+                self.stats.misses += 1
+            return None
+        return payload
+
+    def _corrupt(self, path: Path, reason: object) -> None:
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        _logger.warning("cache entry %s is corrupt (%s); treating as a miss", path, reason)
+        if self.telemetry is not None:
+            self.telemetry.increment("cache.corrupt")
+
+    def load(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """Return the cached result for ``config``, or ``None`` on a miss."""
+        path = self.path_for(config)
+        payload = self._read(path)
+        if payload is None:
             return None
         try:
-            return ExperimentResult.from_dict(payload["result"])
-        except (KeyError, TypeError, ValueError, AttributeError):
+            result = ExperimentResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            _logger.warning(
+                "cache entry %s failed to decode (%s); treating as a miss", path, error
+            )
+            if self.telemetry is not None:
+                self.telemetry.increment("cache.corrupt")
             return None
+        self.stats.hits += 1
+        return result
+
+    def fresh(self, config: ExperimentConfig) -> bool:
+        """Whether a loadable entry for ``config`` exists (no stats counted).
+
+        This is the campaign layer's staleness probe: it parses the entry
+        (so truncated files read as stale) without decoding the result or
+        touching hit/miss accounting.
+        """
+        return self._read(self.path_for(config), count=False) is not None
+
+    def provenance(self, config: ExperimentConfig) -> Optional[Dict[str, object]]:
+        """The stored entry's provenance block, or ``None``.
+
+        Entries written before provenance existed load fine but report no
+        provenance; :meth:`load`'s hit/miss/corrupt accounting is not
+        touched by this read-only peek.
+        """
+        payload = self._read(self.path_for(config), count=False)
+        if payload is None:
+            return None
+        provenance = payload.get("provenance")
+        return provenance if isinstance(provenance, dict) else None
+
+    def scan_provenance(self) -> Iterator[Tuple[Path, Optional[Dict[str, object]]]]:
+        """Yield ``(path, provenance)`` for every artifact on disk.
+
+        ``provenance`` is ``None`` for unreadable entries and for entries
+        written before provenance recording; ``repro campaign status`` uses
+        this to flag entries from older package versions.
+        """
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*/*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                yield path, None
+                continue
+            provenance = payload.get("provenance") if isinstance(payload, dict) else None
+            yield path, provenance if isinstance(provenance, dict) else None
 
     def store(self, result: ExperimentResult) -> Path:
         """Persist ``result`` and return the artifact path."""
@@ -98,7 +222,13 @@ class ResultCache:
             "schema": ARTIFACT_SCHEMA,
             "config_hash": config_hash(result.config),
             "result": result.to_dict(),
+            "provenance": {
+                "config": result.config.to_dict(),
+                "version": _CODE_VERSION,
+                "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            },
         }
+        self.stats.stores += 1
         encoded = json.dumps(payload, sort_keys=True, indent=2)
         handle = tempfile.NamedTemporaryFile(
             "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False

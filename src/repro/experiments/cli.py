@@ -9,6 +9,8 @@ Subcommands
 ``describe``       show a scenario's resolved spec or a component's schema
 ``report``         render fairness/reliability/latency tables from artifacts
 ``trace``          reconstruct per-event infection trees from a --trace stream
+``campaign``       run a declarative experiment campaign incrementally
+                   (``campaign status SPEC.json`` shows fresh/stale marks)
 ``serve``          run a *live* cluster on a real transport (asyncio runtime)
 ``loadgen``        drive a live cluster at a target events/sec
 
@@ -577,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="row cap for the per-event table (default: 10)",
     )
     trace_parser.set_defaults(handler=_cmd_trace)
+
+    from ..campaign.cli import add_campaign_subcommand
+
+    add_campaign_subcommand(subparsers)
 
     add_runtime_subcommands(subparsers)
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Mapping, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 from .cache import ResultCache
 from .config import ExperimentConfig
@@ -46,6 +46,9 @@ class ExecutionReport:
     computed: int
     workers: int
     elapsed_seconds: float
+    #: Per-config hit flags in input order (``True`` = served from cache);
+    #: empty for reports predating the campaign layer.
+    hit_flags: Tuple[bool, ...] = ()
 
     def describe(self) -> str:
         """One-line human-readable summary (shown by the CLI)."""
@@ -133,6 +136,9 @@ class ParallelSweepExecutor:
             computed=len(missing),
             workers=self.workers,
             elapsed_seconds=time.perf_counter() - started,
+            hit_flags=tuple(
+                index not in set(missing_indices) for index in range(len(configs))
+            ),
         )
         return results  # type: ignore[return-value]
 

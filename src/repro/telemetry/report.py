@@ -12,7 +12,9 @@ kind — no re-running experiments required:
 * **cache artifacts** (one ``{"schema": ..., "result": {...}}`` file from
   ``.repro-cache``);
 * **runtime artifacts** (``serve``/``loadgen`` ``--json`` output,
-  ``rt-load/v1``).
+  ``rt-load/v1``);
+* **campaign run manifests** (``manifest.json`` written by
+  ``python -m repro campaign``, ``campaign-manifest/v1``).
 
 Results loaded from an artifact and results loaded from the cache render
 through the same code path, so the tables are identical for identical
@@ -43,10 +45,11 @@ class ReportSource:
     def __init__(
         self, kind: str, path: str, snapshots=None, results=None, runtime=None, spans=None
     ):
-        self.kind = kind  # "snapshots" | "results" | "runtime" | "trace"
+        self.kind = kind  # "snapshots" | "results" | "runtime" | "trace" | "manifest"
         self.path = path
         self.snapshots: List[TelemetrySnapshot] = snapshots or []
         self.results = results or []
+        # Campaign manifests share the raw-payload slot with runtime artifacts.
         self.runtime: Dict[str, object] = runtime or {}
         self.spans = spans or []
 
@@ -99,6 +102,8 @@ def load_report_source(path: str) -> ReportSource:
         )
     if str(payload.get("schema", "")).startswith("rt-load/"):
         return ReportSource("runtime", path, runtime=payload)
+    if str(payload.get("schema", "")).startswith("campaign-manifest/"):
+        return ReportSource("manifest", path, runtime=payload)
     raise ValueError(
         f"artifact {path!r} has an unrecognised shape; expected a telemetry "
         "JSON-lines stream, a trace JSON-lines stream (--trace), a results "
@@ -426,4 +431,51 @@ def render_report(source: ReportSource, max_rows: int = 10) -> str:
         return render_trace(
             analyze_spans(source.spans), max_events=0, max_rows=max_rows
         )
+    if source.kind == "manifest":
+        return _render_manifest(source.runtime)
     return _render_runtime(source.runtime)
+
+
+def _render_manifest(manifest: Dict[str, object]) -> str:
+    """Tables for a campaign run manifest (``campaign-manifest/v1``)."""
+    from ..analysis.tables import Table
+
+    timing = manifest.get("timing", {}) if isinstance(manifest.get("timing"), dict) else {}
+    service_elapsed = timing.get("services", {}) if isinstance(timing, dict) else {}
+    services = Table(
+        ["service", "status", "points", "cache hits", "computed", "elapsed (s)"],
+        title=f"campaign {manifest.get('campaign', '?')} — services "
+        f"(repro {manifest.get('version', '?')})",
+    )
+    for name, record in manifest.get("services", {}).items():
+        points = record.get("points", [])
+        services.add_row(
+            service=name,
+            status=record.get("status", "?"),
+            points=len(points),
+            **{
+                "cache hits": record.get("cache_hits", 0),
+                "computed": record.get("computed", 0),
+                "elapsed (s)": service_elapsed.get(name, ""),
+            },
+        )
+    targets = Table(["target", "status", "inputs", "outputs"], title="targets")
+    for name, record in manifest.get("targets", {}).items():
+        targets.add_row(
+            target=name,
+            status=record.get("status", "?"),
+            inputs=", ".join(record.get("inputs", [])),
+            outputs=", ".join(record.get("outputs", [])),
+        )
+    totals = manifest.get("totals", {})
+    cache = manifest.get("cache", {})
+    summary = (
+        f"totals: {totals.get('points', 0)} point(s) | "
+        f"cache hits: {totals.get('cache_hits', 0)} | "
+        f"computed: {totals.get('computed', 0)} | "
+        f"cache corrupt: {cache.get('corrupt', 0)} | "
+        f"wall: {timing.get('wall_seconds', 0):.2f}s"
+        if isinstance(timing.get("wall_seconds"), (int, float))
+        else f"totals: {totals.get('points', 0)} point(s)"
+    )
+    return "\n\n".join([services.render(), targets.render(), summary])

@@ -1,0 +1,412 @@
+"""Tests for the campaign layer (``repro.campaign``).
+
+Pins the tentpole guarantees of dependency-driven campaigns:
+
+* campaign specs round-trip through JSON and validation fails fast with
+  did-you-mean suggestions for every cross-reference;
+* the compiled graph orders services topologically and rejects cycles;
+* execution is incremental — a warm cache re-runs nothing, an edited
+  sweep parameter re-runs exactly the dependent points, and the canonical
+  manifest is byte-identical across warm reruns;
+* ``ONE`` connectors short-circuit to a fully cached alternative;
+* corrupt cache entries read as misses, bump the ``cache.corrupt``
+  counter, and the affected point re-runs;
+* the ``python -m repro campaign`` CLI works end to end.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignExecutor,
+    CampaignSpec,
+    Connector,
+    compile_graph,
+    expand_service,
+)
+from repro.experiments.cache import ResultCache
+from repro.experiments.cli import main as cli_main
+from repro.experiments.executor import ParallelSweepExecutor
+from repro.experiments.runner import run_experiment
+
+SPEC_DICT = {
+    "schema": "campaign/v1",
+    "name": "unit",
+    "description": "unit-test campaign",
+    "services": {
+        "compare-systems": {"scenario": "smoke", "compare": ["gossip", "fair-gossip"]},
+        "fanout-sweep": {"scenario": "smoke", "sweep": {"system.fanout": [2, 3]}},
+        "alt-cold": {"scenario": "smoke", "set": {"system.fanout": 7}},
+        "late": {
+            "scenario": "smoke",
+            "set": {"workload.publication_rate": 3.0},
+            "after": ["compare-table"],
+        },
+    },
+    "targets": {
+        "compare-table": {"inputs": ["compare-systems"], "title": "systems"},
+        "sweep-report": {"inputs": {"seq": ["fanout-sweep", "late"]}, "kind": "report"},
+        "one-table": {"inputs": {"one": ["alt-cold", "fanout-sweep"]}},
+    },
+}
+
+
+def make_spec(mutate=None) -> CampaignSpec:
+    payload = copy.deepcopy(SPEC_DICT)
+    if mutate is not None:
+        mutate(payload)
+    return CampaignSpec.from_dict(payload).validate()
+
+
+def make_executor(spec, tmp_path, **kwargs) -> CampaignExecutor:
+    cache = ResultCache(str(tmp_path / "cache"))
+    return CampaignExecutor(
+        spec,
+        executor=ParallelSweepExecutor(cache=cache),
+        out_dir=str(tmp_path / "out"),
+        **kwargs,
+    )
+
+
+class TestSpecRoundTrip:
+    def test_json_round_trip(self):
+        spec = make_spec()
+        rebuilt = CampaignSpec.from_dict(spec.to_dict()).validate()
+        assert rebuilt.to_dict() == spec.to_dict()
+        assert rebuilt == spec
+
+    def test_connector_shorthands(self):
+        assert Connector.parse("svc", "t") == Connector("all", ("svc",))
+        assert Connector.parse(["a", "b"], "t") == Connector("all", ("a", "b"))
+        nested = Connector.parse({"seq": ["a", {"one": ["b", "c"]}]}, "t")
+        assert nested.describe() == "SEQ(a, ONE(b, c))"
+        assert nested.service_names() == ["a", "b", "c"]
+
+    def test_connector_bad_shapes(self):
+        with pytest.raises(CampaignError, match="unknown connector"):
+            Connector.parse({"any": ["a"]}, "t")
+        with pytest.raises(CampaignError, match="exactly one"):
+            Connector.parse({"all": ["a"], "one": ["b"]}, "t")
+        with pytest.raises(CampaignError, match="non-empty"):
+            Connector.parse({"one": []}, "t")
+
+    def test_from_file_validates(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(SPEC_DICT), encoding="utf-8")
+        assert CampaignSpec.from_file(str(path)).name == "unit"
+        path.write_text("{ truncated", encoding="utf-8")
+        with pytest.raises(CampaignError, match="not valid JSON"):
+            CampaignSpec.from_file(str(path))
+        with pytest.raises(CampaignError, match="cannot read"):
+            CampaignSpec.from_file(str(tmp_path / "missing.json"))
+
+
+class TestValidation:
+    def test_unknown_scenario_suggests(self):
+        with pytest.raises(CampaignError, match="did you mean 'smoke'"):
+            make_spec(lambda p: p["services"]["alt-cold"].update(scenario="smke"))
+
+    def test_unknown_system_suggests(self):
+        with pytest.raises(CampaignError, match="unknown system 'random-gossip'"):
+            make_spec(
+                lambda p: p["services"]["alt-cold"].update(compare=["random-gossip"])
+            )
+
+    def test_unknown_sweep_key_suggests(self):
+        with pytest.raises(CampaignError, match="unknown config key"):
+            make_spec(
+                lambda p: p["services"]["fanout-sweep"].update(
+                    sweep={"system.fanouts": [2, 3]}
+                )
+            )
+
+    def test_unsweepable_structured_field(self):
+        with pytest.raises(CampaignError, match="structured"):
+            make_spec(lambda p: p["services"]["alt-cold"].update(set={"faults.plan": []}))
+
+    def test_dangling_after_edge_suggests(self):
+        with pytest.raises(CampaignError, match="'after' names unknown node"):
+            make_spec(lambda p: p["services"]["late"].update(after=["compare-tabel"]))
+
+    def test_unknown_input_service_suggests(self):
+        with pytest.raises(CampaignError, match="inputs name unknown service"):
+            make_spec(
+                lambda p: p["targets"]["compare-table"].update(inputs=["compare-system"])
+            )
+
+    def test_duplicate_names_rejected(self):
+        def clash(payload):
+            payload["targets"]["alt-cold"] = {"inputs": ["fanout-sweep"]}
+
+        with pytest.raises(CampaignError, match="duplicate node name"):
+            make_spec(clash)
+
+    def test_unknown_fields_suggest(self):
+        with pytest.raises(CampaignError, match="unknown field"):
+            make_spec(lambda p: p["services"]["alt-cold"].update(sets={"x": 1}))
+        with pytest.raises(CampaignError, match="unknown field"):
+            make_spec(lambda p: p["targets"]["one-table"].update(kindd="table"))
+
+    def test_cycle_detected(self):
+        def cycle(payload):
+            # late -> compare-table (after) and compare-table's input service
+            # gains after: [sweep-report] whose SEQ contains late.
+            payload["services"]["compare-systems"]["after"] = ["sweep-report"]
+
+        with pytest.raises(CampaignError, match="cycle"):
+            make_spec(cycle)
+
+    def test_no_targets_rejected(self):
+        with pytest.raises(CampaignError, match="no targets"):
+            make_spec(lambda p: p["targets"].clear())
+
+
+class TestGraph:
+    def test_topological_order_and_edges(self):
+        spec = make_spec()
+        graph = compile_graph(spec)
+        order = graph.order
+        # Declaration-stable topological order: dependencies precede dependents.
+        assert order.index("compare-systems") < order.index("compare-table")
+        assert order.index("compare-table") < order.index("late")
+        assert order.index("fanout-sweep") < order.index("late")  # SEQ edge
+        assert order.index("late") < order.index("sweep-report")
+        deps = graph.dependency_map()
+        assert "compare-table" in deps["late"]
+
+    def test_restricted_to_target_subset(self):
+        spec = make_spec()
+        graph = compile_graph(spec)
+        needed = graph.restricted_to(["compare-table"])
+        assert needed == {"compare-systems", "compare-table"}
+
+
+class TestExpansion:
+    def test_compare_then_sweep_grid(self):
+        spec = make_spec()
+        assert [c.name for c in expand_service(spec.service("compare-systems"))] == [
+            "smoke/gossip",
+            "smoke/fair-gossip",
+        ]
+        sweep_points = expand_service(spec.service("fanout-sweep"))
+        assert [c.fanout for c in sweep_points] == [2, 3]
+
+    def test_set_coerces_via_spec(self):
+        spec = make_spec()
+        (point,) = expand_service(spec.service("alt-cold"))
+        assert point.fanout == 7
+        (late,) = expand_service(spec.service("late"))
+        assert late.publication_rate == 3.0
+
+
+class TestIncrementalExecution:
+    def test_cold_then_warm_zero_reruns(self, tmp_path):
+        spec = make_spec()
+        cold = make_executor(spec, tmp_path).run()
+        assert all(r.status == "done" for r in cold.services.values())
+        assert all(r.status == "done" for r in cold.targets.values())
+        assert cold.totals()["cache_hits"] == 0
+        warm = make_executor(spec, tmp_path).run()
+        assert warm.totals()["computed"] == 0
+        assert warm.totals()["cache_hits"] == cold.totals()["computed"]
+
+    def test_warm_manifests_byte_identical(self, tmp_path):
+        spec = make_spec()
+        make_executor(spec, tmp_path).run()
+        first = make_executor(spec, tmp_path).run()
+        second = make_executor(spec, tmp_path).run()
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_edited_parameter_reruns_exactly_dependents(self, tmp_path):
+        spec = make_spec()
+        make_executor(spec, tmp_path).run()
+
+        edited = make_spec(
+            lambda p: p["services"]["fanout-sweep"].update(
+                sweep={"system.fanout": [2, 4]}
+            )
+        )
+        manifest = make_executor(edited, tmp_path).run()
+        # fanout=2 is shared with the first run; fanout=4 is the only new
+        # point anywhere in the campaign.
+        sweep_record = manifest.services["fanout-sweep"]
+        assert sweep_record.computed == 1
+        assert sweep_record.cache_hits == 1
+        for name, record in manifest.services.items():
+            if name not in ("fanout-sweep", "alt-cold"):
+                assert record.computed == 0, name
+        assert manifest.totals()["computed"] == 1
+
+    def test_target_subset_runs_only_ancestors(self, tmp_path):
+        spec = make_spec()
+        manifest = make_executor(spec, tmp_path, targets=["compare-table"]).run()
+        assert set(manifest.services) == {"compare-systems"}
+        assert manifest.targets["compare-table"].status == "done"
+
+    def test_unknown_target_selection_suggests(self, tmp_path):
+        spec = make_spec()
+        with pytest.raises(CampaignError, match="did you mean 'compare-table'"):
+            make_executor(spec, tmp_path, targets=["compare-tabel"])
+
+    def test_dry_run_executes_nothing(self, tmp_path):
+        spec = make_spec()
+        executor = make_executor(spec, tmp_path)
+        manifest = executor.run(dry_run=True)
+        assert executor.cache.entry_count() == 0
+        assert not (tmp_path / "out").exists()
+        assert all(r.status in ("done", "skipped") for r in manifest.services.values())
+        planned = manifest.services["fanout-sweep"]
+        assert [point.cached for point in planned.points] == [False, False]
+
+    def test_one_short_circuits_to_cached_alternative(self, tmp_path):
+        spec = make_spec()
+        cache = ResultCache(str(tmp_path / "cache"))
+        for config in expand_service(spec.service("fanout-sweep")):
+            cache.store(run_experiment(config))
+        manifest = make_executor(spec, tmp_path, targets=["one-table"]).run()
+        assert manifest.services["fanout-sweep"].status == "done"
+        assert manifest.services["fanout-sweep"].computed == 0
+        assert manifest.services["alt-cold"].status == "skipped"
+        assert manifest.targets["one-table"].inputs == ["fanout-sweep"]
+
+    def test_one_runs_first_alternative_when_all_cold(self, tmp_path):
+        spec = make_spec()
+        manifest = make_executor(spec, tmp_path, targets=["one-table"]).run()
+        assert manifest.services["alt-cold"].status == "done"
+        assert manifest.services.get("fanout-sweep") is None or (
+            manifest.services["fanout-sweep"].status == "skipped"
+        )
+        assert manifest.targets["one-table"].inputs == ["alt-cold"]
+
+    def test_failure_propagates_to_dependents(self, tmp_path):
+        # An empty compare list cannot fail, so force failure by pointing a
+        # service at a scenario that validates but explodes at run time via
+        # monkeypatching is overkill — instead check the state machinery
+        # directly with a pre-failed state.
+        spec = make_spec()
+        executor = make_executor(spec, tmp_path)
+        states = {name: "pending" for name in executor.graph.order}
+        states["fanout-sweep"] = "failed"
+        target = spec.target("sweep-report")
+        assert executor._child_status(target.inputs, states) == "failed"
+        one = spec.target("one-table")
+        # ONE stays pending while an alternative can still succeed.
+        assert executor._child_status(one.inputs, states) == "pending"
+        states["alt-cold"] = "failed"
+        assert executor._child_status(one.inputs, states) == "failed"
+
+
+class TestCacheProvenanceAndCorruption:
+    def test_provenance_recorded_and_surfaced(self, tmp_path):
+        spec = make_spec()
+        executor = make_executor(spec, tmp_path)
+        manifest = executor.run()
+        warm = make_executor(spec, tmp_path).run()
+        point = warm.services["compare-systems"].points[0]
+        provenance = dict(point.provenance)
+        assert "version" in provenance and "created_at" in provenance
+        entries = list(executor.cache.scan_provenance())
+        assert entries and all(prov is not None for _path, prov in entries)
+        for _path, prov in entries:
+            assert set(prov) >= {"config", "version", "created_at"}
+        assert manifest.cache_stats["stores"] == manifest.totals()["computed"]
+
+    def test_truncated_entry_reruns_point_and_counts_corrupt(self, tmp_path):
+        class CounterTelemetry:
+            def __init__(self):
+                self.counts = {}
+
+            def increment(self, name, value=1):
+                self.counts[name] = self.counts.get(name, 0) + value
+
+        spec = make_spec()
+        make_executor(spec, tmp_path).run()
+
+        telemetry = CounterTelemetry()
+        cache = ResultCache(str(tmp_path / "cache"), telemetry=telemetry)
+        # compare-systems is demanded unconditionally (a plain ALL input), so
+        # its corrupt point must re-run; a corrupt ONE alternative would
+        # instead be routed around via the short-circuit.
+        target_config = expand_service(spec.service("compare-systems"))[0]
+        artifact = cache.path_for(target_config)
+        artifact.write_text(
+            artifact.read_text(encoding="utf-8")[:40], encoding="utf-8"
+        )
+        assert not cache.fresh(target_config)
+
+        executor = CampaignExecutor(
+            spec,
+            executor=ParallelSweepExecutor(cache=cache),
+            out_dir=str(tmp_path / "out"),
+        )
+        manifest = executor.run()
+        assert manifest.totals()["computed"] == 1
+        assert manifest.services["compare-systems"].computed == 1
+        assert manifest.cache_stats["corrupt"] >= 1
+        assert telemetry.counts["cache.corrupt"] >= 1
+        # The re-run repaired the entry: a fresh campaign is fully warm.
+        repaired = make_executor(spec, tmp_path).run()
+        assert repaired.totals()["computed"] == 0
+
+
+class TestCampaignCli:
+    def write_spec(self, tmp_path, payload=None):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(payload or SPEC_DICT), encoding="utf-8")
+        return str(path)
+
+    def argv(self, tmp_path, *extra):
+        return [
+            "campaign",
+            *extra,
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--out-dir",
+            str(tmp_path / "out"),
+        ]
+
+    def test_cold_warm_and_status(self, capsys, tmp_path):
+        spec_path = self.write_spec(tmp_path)
+        assert cli_main(self.argv(tmp_path, spec_path)) == 0
+        cold = capsys.readouterr().out
+        assert "computed: 6" in cold
+        assert cli_main(self.argv(tmp_path, spec_path)) == 0
+        warm = capsys.readouterr().out
+        assert "computed: 0" in warm and "cache hits: 6" in warm
+        manifest = json.loads((tmp_path / "out" / "manifest.json").read_text())
+        assert manifest["schema"] == "campaign-manifest/v1"
+        assert cli_main(["campaign", "status", spec_path, "--cache-dir", str(tmp_path / "cache")]) == 0
+        status = capsys.readouterr().out
+        assert "fresh" in status and "ONE(alt-cold, fanout-sweep)" in status
+
+    def test_dry_run_prints_plan(self, capsys, tmp_path):
+        spec_path = self.write_spec(tmp_path)
+        assert cli_main(self.argv(tmp_path, spec_path, "--dry-run")) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out and "to compute" in out
+        assert not (tmp_path / "out").exists()
+
+    def test_unknown_target_flag_fails_with_suggestion(self, tmp_path):
+        spec_path = self.write_spec(tmp_path)
+        with pytest.raises(SystemExit, match="did you mean 'one-table'"):
+            cli_main(self.argv(tmp_path, spec_path, "--target", "one-tble"))
+
+    def test_invalid_spec_fails_fast(self, tmp_path):
+        payload = copy.deepcopy(SPEC_DICT)
+        payload["services"]["alt-cold"]["scenario"] = "smkoe"
+        spec_path = self.write_spec(tmp_path, payload)
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            cli_main(self.argv(tmp_path, spec_path))
+
+    def test_report_renders_manifest(self, capsys, tmp_path):
+        spec_path = self.write_spec(tmp_path)
+        assert cli_main(self.argv(tmp_path, spec_path)) == 0
+        capsys.readouterr()
+        assert cli_main(["report", str(tmp_path / "out" / "manifest.json")]) == 0
+        out = capsys.readouterr().out
+        assert "campaign unit — services" in out and "targets" in out
